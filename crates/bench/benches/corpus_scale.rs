@@ -1,0 +1,58 @@
+//! Cluster-throughput scaling: wall time of paired corpus sweeps as the
+//! sample count grows (the unit of work behind Figure 4), plus MalGene
+//! alignment cost on loop-heavy traces.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+
+use harness::{Cluster, RunLimits};
+use malware_sim::malgene_corpus;
+use scarecrow::{Config, Scarecrow};
+use winsim::env::bare_metal_sandbox;
+
+fn bench_corpus_sweep(c: &mut Criterion) {
+    let corpus = malgene_corpus(20200629);
+    let mut group = c.benchmark_group("corpus_sweep");
+    group.sample_size(10);
+    for n in [8usize, 32, 128] {
+        // spread over the corpus so every behaviour class is in the slice
+        let slice: Vec<_> =
+            corpus.iter().step_by((corpus.len() / n).max(1)).take(n).cloned().collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &slice, |b, slice| {
+            b.iter(|| {
+                let cluster = Cluster::new(
+                    Arc::new(bare_metal_sandbox),
+                    Scarecrow::with_builtin_db(Config::default()),
+                )
+                .with_limits(RunLimits { budget_ms: 60_000, max_processes: 40 });
+                cluster.run_corpus(slice)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_alignment(c: &mut Criterion) {
+    // align a loop-heavy protected trace against its short baseline — the
+    // expensive end of the MalGene pipeline
+    let spawner = malware_sim::EvasiveSample::new(
+        "looper.exe",
+        "Bench",
+        malware_sim::EvasiveLogic::any([malware_sim::Technique::IsDebuggerPresent]),
+        malware_sim::Reaction::SelfSpawn,
+        malware_sim::Payload::CreateProcesses(vec!["svchost.exe".into()]),
+    );
+    let cluster = Cluster::new(
+        Arc::new(bare_metal_sandbox),
+        Scarecrow::with_builtin_db(Config::default()),
+    )
+    .with_limits(RunLimits { budget_ms: 60_000, max_processes: 200 });
+    let pair = cluster.run_pair(spawner.into_program());
+    let (a, b) = (&pair.baseline, &pair.protected.trace);
+    c.bench_function("malgene_align_loop_trace", |bch| {
+        bch.iter(|| malgene::align(a, b))
+    });
+}
+
+criterion_group!(benches, bench_corpus_sweep, bench_alignment);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! End-to-end engine throughput: full protected runs of representative
+//! samples (the unit of work the Figure 3 cluster performs per machine
+//! reset), and deceptive-resource database lookups.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use malware_sim::samples::{cases, joe::joe_samples};
+use scarecrow::{Config, ResourceDb, Scarecrow};
+use winsim::{Machine, System};
+
+fn bench_protected_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protected_run");
+    group.sample_size(20);
+
+    let engine = Scarecrow::with_builtin_db(Config::default());
+    let debugger_sample =
+        joe_samples().into_iter().find(|s| s.md5 == "f1a1288").unwrap().sample;
+    group.bench_function("debugger_evader", |b| {
+        b.iter_batched(
+            || {
+                let mut m = Machine::new(System::new());
+                m.register_program(debugger_sample.clone().into_program());
+                m
+            },
+            |mut m| engine.run_protected(&mut m, "joe_f1a1288.exe").unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("kasidet_disjunction", |b| {
+        b.iter_batched(
+            || {
+                let mut m = winsim::env::end_user_machine();
+                m.register_program(cases::kasidet().into_program());
+                m
+            },
+            |mut m| engine.run_protected(&mut m, "kasidet_de1af0e.exe").unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+
+    // a self-spawn loop bounded by the process cap: the worst case the
+    // controller tolerates per run
+    let spawner = malware_sim::EvasiveSample::new(
+        "looper.exe",
+        "Bench",
+        malware_sim::EvasiveLogic::any([malware_sim::Technique::IsDebuggerPresent]),
+        malware_sim::Reaction::SelfSpawn,
+        malware_sim::Payload::SelfCopy,
+    );
+    group.bench_function("self_spawn_loop_100", |b| {
+        b.iter_batched(
+            || {
+                let mut m = Machine::new(System::new());
+                m.max_processes = 100;
+                m.register_program(spawner.clone().into_program());
+                m
+            },
+            |mut m| engine.run_protected(&mut m, "looper.exe").unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.finish();
+}
+
+fn bench_db_lookups(c: &mut Criterion) {
+    let db = ResourceDb::builtin();
+    let mut group = c.benchmark_group("resource_db");
+    group.bench_function("reg_key_hit", |b| {
+        b.iter(|| db.reg_key(r"HKLM\SOFTWARE\Oracle\VirtualBox Guest Additions"))
+    });
+    group.bench_function("reg_key_miss", |b| {
+        b.iter(|| db.reg_key(r"HKLM\SOFTWARE\Legit\App"))
+    });
+    group.bench_function("file_hit", |b| {
+        b.iter(|| db.file(r"C:\Windows\System32\drivers\vmmouse.sys"))
+    });
+    group.bench_function("process_hit", |b| b.iter(|| db.process("olydbg.exe")));
+    group.finish();
+}
+
+criterion_group!(benches, bench_protected_runs, bench_db_lookups);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Performance claim of Sections I/III: the deception engine "incurs
+//! minimal performance overhead". Measures per-call API dispatch latency
+//! in three conditions — unhooked, hook-present-but-passthrough, and the
+//! full deception engine — plus the per-process injection cost.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::sync::Arc;
+
+use scarecrow::{Config, Scarecrow};
+use winsim::{args, Api, Machine, Pid, System};
+
+fn machine_with_probe() -> (Machine, Pid) {
+    let mut m = Machine::new(System::new());
+    m.budget_ms = u64::MAX; // never cut a measurement short
+    let pid = m.add_system_process("probe.exe");
+    (m, pid)
+}
+
+fn bench_api_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("api_dispatch");
+
+    // baseline: unhooked call path
+    let (mut m, pid) = machine_with_probe();
+    group.bench_function("unhooked_RegOpenKeyEx", |b| {
+        b.iter(|| m.call_api(pid, Api::RegOpenKeyEx, args![r"HKLM\SOFTWARE\Missing"]))
+    });
+
+    // hooks installed but passing everything through (presence-only mode)
+    let (mut m, pid) = machine_with_probe();
+    let presence = Scarecrow::with_builtin_db(Config::presence_only());
+    presence.protect_process(&mut m, pid);
+    group.bench_function("presence_only_RegOpenKeyEx", |b| {
+        b.iter(|| m.call_api(pid, Api::RegOpenKeyEx, args![r"HKLM\SOFTWARE\Missing"]))
+    });
+
+    // full engine, non-deceptive key (miss path: db lookup + original)
+    let (mut m, pid) = machine_with_probe();
+    let full = Scarecrow::with_builtin_db(Config::default());
+    full.protect_process(&mut m, pid);
+    group.bench_function("full_engine_miss_RegOpenKeyEx", |b| {
+        b.iter(|| m.call_api(pid, Api::RegOpenKeyEx, args![r"HKLM\SOFTWARE\Missing"]))
+    });
+
+    // full engine, deceptive key (hit path: db lookup + IPC trigger)
+    let (mut m, pid) = machine_with_probe();
+    let full = Scarecrow::with_builtin_db(Config::default());
+    full.protect_process(&mut m, pid);
+    group.bench_function("full_engine_hit_RegOpenKeyEx", |b| {
+        b.iter(|| {
+            m.call_api(pid, Api::RegOpenKeyEx, args![r"HKLM\SOFTWARE\VMware, Inc.\VMware Tools"])
+        })
+    });
+
+    // a hot hardware fake
+    let (mut m, pid) = machine_with_probe();
+    let full = Scarecrow::with_builtin_db(Config::default());
+    full.protect_process(&mut m, pid);
+    group.bench_function("full_engine_GetTickCount", |b| {
+        b.iter(|| m.call_api(pid, Api::GetTickCount, args![]))
+    });
+
+    group.finish();
+}
+
+fn bench_injection(c: &mut Criterion) {
+    let engine = Arc::new(Scarecrow::with_builtin_db(Config::default()));
+    c.bench_function("inject_into_fresh_process", |b| {
+        let engine = Arc::clone(&engine);
+        b.iter_batched(
+            machine_with_probe,
+            |(mut m, pid)| {
+                engine.protect_process(&mut m, pid);
+                m
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_db_construction(c: &mut Criterion) {
+    c.bench_function("builtin_resource_db_build", |b| {
+        b.iter(scarecrow::ResourceDb::builtin)
+    });
+}
+
+criterion_group!(benches, bench_api_dispatch, bench_injection, bench_db_construction);
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! Runs the design-choice ablations.
+fn main() {
+    let rates = scarecrow_bench::ablation::deception_breadth(200);
+    let wannacry = scarecrow_bench::ablation::wannacry_sinkhole();
+    let profiles = scarecrow_bench::ablation::profile_conflicts();
+    println!("{}", scarecrow_bench::ablation::render(&rates, &wannacry, &profiles));
+}

@@ -1,0 +1,6 @@
+//! Regenerates the benign-impact experiment (Section IV-C.1).
+fn main() {
+    let reports = scarecrow_bench::benign::run();
+    println!("{}", scarecrow_bench::benign::render(&reports));
+    scarecrow_bench::json::maybe_write("benign_impact", &reports);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the Section V case studies.
+fn main() {
+    let results = scarecrow_bench::cases::run();
+    println!("{}", scarecrow_bench::cases::render(&results));
+    scarecrow_bench::json::maybe_write("case_studies", &results);
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figure 4 (full 1,054-sample corpus).
+use harness::RunLimits;
+
+fn main() {
+    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let report = scarecrow_bench::figure4::run(RunLimits::default(), workers);
+    println!("{}", scarecrow_bench::figure4::render(&report));
+    scarecrow_bench::json::maybe_write("figure4", &report);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the Figure 5 environment-space coordinates.
+fn main() {
+    let points = scarecrow_bench::figure5::run();
+    println!("{}", scarecrow_bench::figure5::render(&points));
+    scarecrow_bench::json::maybe_write("figure5_space", &points);
+}

@@ -1,0 +1,161 @@
+//! `scarecrowctl` — a small operator CLI over the deception engine.
+//!
+//! ```text
+//! scarecrowctl stats                      # resource-database inventory
+//! scarecrowctl hooks                      # the hooked API list
+//! scarecrowctl config-show                # default configuration as JSON
+//! scarecrowctl config-init <path>         # write a config file to edit
+//! scarecrowctl list-samples               # built-in reconstructed samples
+//! scarecrowctl run <sample> [config.json] # paired run + verdict
+//! scarecrowctl pafish <env>               # pafish on bare|vm|user, ±engine
+//! ```
+
+use std::sync::Arc;
+
+use harness::Cluster;
+use malware_sim::samples::{cases, families, joe};
+use malware_sim::EvasiveSample;
+use scarecrow::{Config, Scarecrow};
+use winsim::env::{bare_metal_sandbox, end_user_machine, vm_sandbox};
+use winsim::Program;
+
+fn builtin_samples() -> Vec<(String, EvasiveSample)> {
+    let mut out: Vec<(String, EvasiveSample)> = Vec::new();
+    for js in joe::joe_samples() {
+        out.push((format!("joe:{}", js.md5), js.sample));
+    }
+    for rep in families::all_representatives() {
+        out.push((format!("family:{}", rep.family.to_ascii_lowercase()), rep));
+    }
+    out.push(("case:kasidet".into(), cases::kasidet()));
+    out.push(("case:wannacry".into(), cases::wannacry()));
+    out.push(("case:wannacry-initial".into(), cases::wannacry_initial()));
+    out.push(("case:locky".into(), cases::locky()));
+    out
+}
+
+fn cmd_stats() {
+    let engine = Scarecrow::new(Config::default());
+    let stats = engine.db_stats();
+    println!("deceptive resource database (curated core + public-sandbox crawl):");
+    println!("  files:            {}", stats.files);
+    println!("  devices:          {}", stats.devices);
+    println!("  processes:        {}", stats.processes);
+    println!("  dlls:             {}", stats.dlls);
+    println!("  windows:          {}", stats.windows);
+    println!("  registry keys:    {}", stats.reg_keys);
+    println!("  registry values:  {}", stats.reg_values);
+    println!("  hooked APIs:      {}", engine.hooked_apis().len());
+}
+
+fn cmd_hooks() {
+    let engine = Scarecrow::with_builtin_db(Config::default());
+    for api in engine.hooked_apis() {
+        println!("{api}");
+    }
+}
+
+fn cmd_config_show() {
+    let json = serde_json::to_string_pretty(&Config::default()).expect("serializable");
+    println!("{json}");
+}
+
+fn cmd_config_init(path: &str) {
+    match Config::default().save_json_file(path) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn cmd_list_samples() {
+    for (name, sample) in builtin_samples() {
+        println!("{name:<26} ({} techniques)", sample.logic.techniques().len());
+    }
+}
+
+fn cmd_run(name: &str, config_path: Option<&str>) {
+    let config = match config_path {
+        Some(path) => match Config::from_json_file(path) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => Config::default(),
+    };
+    let Some((_, sample)) = builtin_samples().into_iter().find(|(n, _)| n == name) else {
+        eprintln!("unknown sample {name:?}; see `scarecrowctl list-samples`");
+        std::process::exit(1);
+    };
+    let cluster = Cluster::new(Arc::new(end_user_machine), Scarecrow::with_builtin_db(config));
+    let pair = cluster.run_pair(sample.into_program());
+    println!("baseline activities:");
+    for a in pair.baseline.significant_activities() {
+        println!("  - {a}");
+    }
+    println!("\ntriggers under deception:");
+    for t in &pair.protected.triggers {
+        println!("  - {t}");
+    }
+    for alarm in &pair.protected.alarms {
+        println!("alarm: {alarm}");
+    }
+    println!("\nsummary: {}", pair.protected.trigger_summary());
+    println!("verdict: {}", pair.verdict);
+}
+
+fn cmd_pafish(env: &str) {
+    let engine = Scarecrow::with_builtin_db(Config::default());
+    for (label, with) in [("without Scarecrow", false), ("with Scarecrow", true)] {
+        let mut machine = match env {
+            "bare" => bare_metal_sandbox(),
+            "vm" => vm_sandbox(),
+            "user" => end_user_machine(),
+            other => {
+                eprintln!("unknown environment {other:?} (use bare|vm|user)");
+                std::process::exit(1);
+            }
+        };
+        let pid = harness::spawn_probe(&mut machine, "pafish.exe", with.then_some(&engine));
+        let mut ctx = winsim::ProcessCtx::new(&mut machine, pid);
+        let report = pafish_sim::run_pafish(&mut ctx);
+        println!("{label}: {} evidence triggered", report.total_triggered());
+        for (cat, hit, total) in report.rows() {
+            println!("  {:<18} {hit}/{total}", cat.label());
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: scarecrowctl <command>\n\
+         commands:\n  \
+         stats | hooks | config-show | config-init <path> | list-samples |\n  \
+         run <sample> [config.json] | pafish <bare|vm|user>"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("stats") => cmd_stats(),
+        Some("hooks") => cmd_hooks(),
+        Some("config-show") => cmd_config_show(),
+        Some("config-init") => match args.get(1) {
+            Some(path) => cmd_config_init(path),
+            None => usage(),
+        },
+        Some("list-samples") => cmd_list_samples(),
+        Some("run") => match args.get(1) {
+            Some(name) => cmd_run(name, args.get(2).map(String::as_str)),
+            None => usage(),
+        },
+        Some("pafish") => cmd_pafish(args.get(1).map(String::as_str).unwrap_or("user")),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,6 @@
+//! Regenerates Table I.
+fn main() {
+    let rows = scarecrow_bench::table1::run();
+    println!("{}", scarecrow_bench::table1::render(&rows));
+    scarecrow_bench::json::maybe_write("table1", &rows);
+}

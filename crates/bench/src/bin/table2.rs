@@ -1,0 +1,10 @@
+//! Regenerates Table II.
+fn main() {
+    let t = scarecrow_bench::table2::run();
+    println!("{}", scarecrow_bench::table2::render(&t));
+    println!(
+        "With-Scarecrow columns indistinguishable across environments: {}",
+        t.with_columns_indistinguishable()
+    );
+    scarecrow_bench::json::maybe_write("table2", &t);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Table III.
+fn main() {
+    let t = scarecrow_bench::table3::run();
+    println!("{}", scarecrow_bench::table3::render(&t));
+    scarecrow_bench::json::maybe_write("table3", &t);
+}

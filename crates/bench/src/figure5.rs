@@ -1,0 +1,156 @@
+//! Figure 5: the execution-environment space.
+//!
+//! The paper visualizes environments along three axes — *virtualization
+//! and monitoring tools*, *wear-and-tear artifacts*, and *hardware
+//! diversity* — and describes Scarecrow as an arrow from the top-left
+//! (end-user) toward the bottom-right (analysis environment). We compute
+//! concrete coordinates for each environment × engine combination from the
+//! same measurements the other experiments use:
+//!
+//! * **monitoring** — the fraction of non-timing Pafish evidence triggered
+//!   (virtualization + monitoring visibility);
+//! * **wear** — a normalized aging score from the top-5 wear artifacts
+//!   (higher = more worn, i.e. more end-user-like);
+//! * **hw_diversity** — coarse hardware-uniqueness score (core count,
+//!   memory, disk spread vs. the canonical 1-core/1 GB/50 GB sandbox).
+
+use pafish_sim::{run_pafish, PafishCategory};
+use scarecrow::{Config, Scarecrow};
+use serde::{Deserialize, Serialize};
+use weartear::WearMeasurement;
+use winsim::env::{bare_metal_sandbox, end_user_machine, vm_sandbox};
+use winsim::{Machine, ProcessCtx};
+
+/// A point in the Figure 5 space.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EnvPoint {
+    /// Environment × engine label.
+    pub label: String,
+    /// Monitoring/virtualization visibility in [0, 1].
+    pub monitoring: f64,
+    /// Wear score in [0, 1] (higher = more aged).
+    pub wear: f64,
+    /// Hardware-diversity score in [0, 1] (higher = more unusual/varied).
+    pub hw_diversity: f64,
+}
+
+fn wear_score(m: &WearMeasurement) -> f64 {
+    // saturating normalizations against "very worn" reference values
+    let parts = [
+        (m.value("dnscacheEntries") / 50.0).min(1.0),
+        (m.value("sysevt") / 20_000.0).min(1.0),
+        (m.value("syssrc") / 30.0).min(1.0),
+        (m.value("deviceClsCount") / 150.0).min(1.0),
+        (m.value("autoRunCount") / 10.0).min(1.0),
+    ];
+    parts.iter().sum::<f64>() / parts.len() as f64
+}
+
+fn hw_diversity(machine: &Machine) -> f64 {
+    let hw = &machine.system().hardware;
+    let cores = (f64::from(hw.num_cores) / 8.0).min(1.0);
+    let mem = (hw.memory_mb as f64 / 16_384.0).min(1.0);
+    let disk = machine
+        .system()
+        .fs
+        .drive('C')
+        .map(|d| (d.total_bytes as f64 / (500u64 << 30) as f64).min(1.0))
+        .unwrap_or(0.0);
+    (cores + mem + disk) / 3.0
+}
+
+fn measure(label: &str, mut machine: Machine, engine: Option<&Scarecrow>) -> EnvPoint {
+    let hw = hw_diversity(&machine);
+    let pid = harness::spawn_probe(&mut machine, "figure5-probe.exe", engine);
+    let (pafish, wear) = {
+        let mut ctx = ProcessCtx::new(&mut machine, pid);
+        let pafish = run_pafish(&mut ctx);
+        let wear = WearMeasurement::collect(&mut ctx);
+        (pafish, wear)
+    };
+    let non_timing_total: usize = pafish
+        .rows()
+        .iter()
+        .filter(|(c, _, _)| *c != PafishCategory::Cpu)
+        .map(|(_, _, t)| *t)
+        .sum();
+    let non_timing_hit: usize = pafish
+        .rows()
+        .iter()
+        .filter(|(c, _, _)| *c != PafishCategory::Cpu)
+        .map(|(_, hit, _)| *hit)
+        .sum();
+    EnvPoint {
+        label: label.to_owned(),
+        monitoring: non_timing_hit as f64 / non_timing_total.max(1) as f64,
+        wear: wear_score(&wear),
+        hw_diversity: hw,
+    }
+}
+
+/// Computes coordinates for the six environment × engine combinations.
+pub fn run() -> Vec<EnvPoint> {
+    let engine = Scarecrow::with_builtin_db(Config::default());
+    vec![
+        measure("end-user machine", end_user_machine(), None),
+        measure("end-user + Scarecrow", end_user_machine(), Some(&engine)),
+        measure("bare-metal sandbox", bare_metal_sandbox(), None),
+        measure("bare-metal sandbox + Scarecrow", bare_metal_sandbox(), Some(&engine)),
+        measure("VM sandbox (Cuckoo/VBox)", vm_sandbox(), None),
+        measure("VM sandbox + Scarecrow", vm_sandbox(), Some(&engine)),
+    ]
+}
+
+/// Renders the coordinate table.
+pub fn render(points: &[EnvPoint]) -> String {
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.label.clone(),
+                format!("{:.3}", p.monitoring),
+                format!("{:.3}", p.wear),
+                format!("{:.3}", p.hw_diversity),
+            ]
+        })
+        .collect();
+    crate::fmt::render_table(
+        "Figure 5 — execution-environment space coordinates",
+        &["Environment", "Virtualization/monitoring", "Wear-and-tear", "HW diversity"],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point<'a>(points: &'a [EnvPoint], label: &str) -> &'a EnvPoint {
+        points.iter().find(|p| p.label == label).unwrap()
+    }
+
+    #[test]
+    fn scarecrow_moves_the_end_user_toward_the_analysis_corner() {
+        let points = run();
+        let user = point(&points, "end-user machine");
+        let deceived = point(&points, "end-user + Scarecrow");
+        assert!(deceived.monitoring > user.monitoring + 0.3, "monitoring visibility jumps");
+        assert!(deceived.wear < user.wear / 2.0, "aging signals collapse");
+    }
+
+    #[test]
+    fn sandboxes_sit_low_on_wear() {
+        let points = run();
+        assert!(point(&points, "bare-metal sandbox").wear < 0.2);
+        assert!(point(&points, "end-user machine").wear > 0.6);
+    }
+
+    #[test]
+    fn deceived_environments_converge() {
+        let points = run();
+        let a = point(&points, "end-user + Scarecrow");
+        let b = point(&points, "bare-metal sandbox + Scarecrow");
+        assert!((a.monitoring - b.monitoring).abs() < 0.05);
+        assert!((a.wear - b.wear).abs() < 0.05);
+    }
+}

@@ -1,0 +1,71 @@
+//! Minimal fixed-width table printing for the experiment binaries.
+
+/// Renders a table with a title, header row, and data rows.
+pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let sep: String = widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("+");
+    let fmt_row = |cells: &[String]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!(" {:<w$} ", c, w = widths.get(i).copied().unwrap_or(c.len())))
+            .collect::<Vec<_>>()
+            .join("|")
+    };
+    let header_cells: Vec<String> = headers.iter().map(|s| (*s).to_owned()).collect();
+    out.push_str(&sep);
+    out.push('\n');
+    out.push_str(&fmt_row(&header_cells));
+    out.push('\n');
+    out.push_str(&sep);
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    out.push_str(&sep);
+    out.push('\n');
+    out
+}
+
+/// Formats a ratio as `x/y (pp.pp%)`.
+pub fn rate(hit: usize, total: usize) -> String {
+    if total == 0 {
+        return "0/0".to_owned();
+    }
+    format!("{hit}/{total} ({:.2}%)", 100.0 * hit as f64 / total as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let s = render_table(
+            "T",
+            &["a", "long-header"],
+            &[vec!["xxxxxx".into(), "1".into()], vec!["y".into(), "2".into()]],
+        );
+        assert!(s.contains("long-header"));
+        let lines: Vec<&str> = s.lines().collect();
+        // header + rows share the same width
+        assert_eq!(lines[2].len(), lines[4].len());
+    }
+
+    #[test]
+    fn rate_formats_percentage() {
+        assert_eq!(rate(944, 1054), "944/1054 (89.56%)");
+        assert_eq!(rate(0, 0), "0/0");
+    }
+}

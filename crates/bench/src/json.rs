@@ -1,0 +1,63 @@
+//! Machine-readable experiment artifacts.
+//!
+//! When `SCARECROW_RESULTS_DIR` is set, every experiment binary also
+//! serializes its data structure to `<dir>/<name>.json`, so EXPERIMENTS.md
+//! numbers can be regenerated and diffed mechanically.
+
+use serde::Serialize;
+use std::path::PathBuf;
+
+/// Environment variable naming the output directory.
+pub const RESULTS_DIR_VAR: &str = "SCARECROW_RESULTS_DIR";
+
+/// Writes `value` as pretty JSON to `<SCARECROW_RESULTS_DIR>/<name>.json`
+/// when the variable is set. Returns the path written, if any.
+///
+/// I/O or serialization failures are reported on stderr rather than
+/// aborting the experiment — the table on stdout is the primary artifact.
+pub fn maybe_write<T: Serialize>(name: &str, value: &T) -> Option<PathBuf> {
+    let dir = std::env::var_os(RESULTS_DIR_VAR)?;
+    let mut path = PathBuf::from(dir);
+    if let Err(e) = std::fs::create_dir_all(&path) {
+        eprintln!("warning: cannot create results dir {}: {e}", path.display());
+        return None;
+    }
+    path.push(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => match std::fs::write(&path, json) {
+            Ok(()) => Some(path),
+            Err(e) => {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+                None
+            }
+        },
+        Err(e) => {
+            eprintln!("warning: cannot serialize {name}: {e}");
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Serialize;
+
+    #[derive(Serialize)]
+    struct Demo {
+        x: u32,
+    }
+
+    #[test]
+    fn writes_when_configured() {
+        let dir = std::env::temp_dir().join("scarecrow-json-test");
+        // NB: set_var is process-global; fine inside this single test
+        std::env::set_var(RESULTS_DIR_VAR, &dir);
+        let path = maybe_write("demo", &Demo { x: 7 }).expect("written");
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("\"x\": 7"));
+        std::env::remove_var(RESULTS_DIR_VAR);
+        assert!(maybe_write("demo", &Demo { x: 7 }).is_none());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -1,0 +1,28 @@
+//! Experiment logic regenerating every table and figure of the Scarecrow
+//! paper's evaluation. Each module computes one experiment's data
+//! structure; the `src/bin/*` binaries print them.
+//!
+//! | Paper artifact | Module | Binary |
+//! |---|---|---|
+//! | Table I (Joe Security effectiveness) | [`table1`] | `table1` |
+//! | Table II (Pafish in three environments) | [`table2`] | `table2` |
+//! | Table III (wear-and-tear fakes) | [`table3`] | `table3` |
+//! | Figure 4 (MalGene corpus per family) | [`figure4`] | `figure4` |
+//! | Section V case studies | [`cases`] | `case_studies` |
+//! | Benign-impact claim (§IV-C.1) | [`benign`] | `benign_impact` |
+//! | Figure 5 (environment space) | [`figure5`] | `figure5_space` |
+//! | Design-choice ablations (§II-C, §III-A, §VI-B) | [`ablation`] | `ablation` |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod benign;
+pub mod cases;
+pub mod figure4;
+pub mod figure5;
+pub mod fmt;
+pub mod json;
+pub mod table1;
+pub mod table2;
+pub mod table3;

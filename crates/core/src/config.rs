@@ -1,0 +1,297 @@
+//! Scarecrow configuration.
+//!
+//! Deceptive hardware values come straight from Section II-B: "SCARECROW
+//! provides faked system configurations, such as disk size (50GB), memory
+//! size (1GB), and the number of cores (1)", chosen "based on public
+//! sandboxes" and "easily adjustable by users if needed". Category switches
+//! exist both for user tailoring and for the ablation benches in
+//! `scarecrow-bench`.
+
+use serde::{Deserialize, Serialize};
+
+/// Tunable deception engine configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Config {
+    /// Deceive software resources (files, processes, DLLs, windows,
+    /// registry) — Section II-B "Software resources".
+    pub software: bool,
+    /// Deceive hardware resources (disk/memory/core counts, uptime) —
+    /// Section II-B "Hardware resources".
+    pub hardware: bool,
+    /// Sinkhole non-existent domains — Section II-B "Network resources".
+    pub network: bool,
+    /// Fake wear-and-tear artifacts — the Section IV-C.2 extension.
+    pub weartear: bool,
+    /// Protect the deceptive analysis-tool processes from
+    /// `TerminateProcess` ("we … protect them from being terminated by
+    /// untrusted software", Section II-B(b)).
+    pub protect_processes: bool,
+    /// Follow child processes with injection (Section III-B).
+    pub follow_children: bool,
+    /// Kill self-spawn loops instead of only alarming (Section VI-C
+    /// "Active Mitigation"; the paper's deployment only records).
+    pub active_mitigation: bool,
+    /// Self-spawn count at which the loop alarm fires.
+    pub spawn_alarm_threshold: usize,
+    /// Exclusive-profile mode (Section VI-B future work): once one
+    /// profile's resource is fingerprinted, all other profiles go silent to
+    /// avoid cross-VM contradictions.
+    pub exclusive_profiles: bool,
+
+    /// Faked total disk size in GiB.
+    pub fake_disk_gb: u64,
+    /// Faked free disk size in GiB.
+    pub fake_disk_free_gb: u64,
+    /// Faked physical memory in MiB (a nominal 1 GiB module reports 1023).
+    pub fake_memory_mb: u64,
+    /// Faked logical processor count.
+    pub fake_cores: u64,
+    /// Faked uptime in ms (fresh-boot sandbox look).
+    pub fake_uptime_ms: u64,
+    /// Faked sample path directory (sandboxes rename samples to hashes).
+    pub fake_sample_dir: String,
+    /// Faked user name (a classic sandbox account name).
+    pub fake_user: String,
+    /// Faked computer name.
+    pub fake_computer: String,
+    /// Sinkhole address returned for every NX domain.
+    pub sinkhole_addr: [u8; 4],
+    /// Faked exception-dispatch round-trip in cycles (Section II-B(g):
+    /// "deceptive timing discrepancies in default exception processing").
+    pub fake_exception_cycles: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            software: true,
+            hardware: true,
+            network: true,
+            weartear: true,
+            protect_processes: true,
+            follow_children: true,
+            active_mitigation: false,
+            spawn_alarm_threshold: 20,
+            exclusive_profiles: false,
+            fake_disk_gb: 50,
+            fake_disk_free_gb: 21,
+            fake_memory_mb: 1023,
+            fake_cores: 1,
+            fake_uptime_ms: 5 * 60 * 1000,
+            fake_sample_dir: r"C:\sample".to_owned(),
+            fake_user: "currentuser".to_owned(),
+            fake_computer: "SANDBOX".to_owned(),
+            sinkhole_addr: [10, 11, 12, 13],
+            fake_exception_cycles: 24_000,
+        }
+    }
+}
+
+impl Config {
+    /// The paper's deployed configuration.
+    pub fn paper_defaults() -> Self {
+        Config::default()
+    }
+
+    /// Loads a configuration from a JSON file — "specific values are
+    /// easily adjustable by users if needed" (Section II-B).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the file cannot be read or parsed.
+    pub fn from_json_file(path: impl AsRef<std::path::Path>) -> Result<Self, ConfigError> {
+        let text = std::fs::read_to_string(path.as_ref())
+            .map_err(|e| ConfigError::Io(path.as_ref().display().to_string(), e))?;
+        serde_json::from_str(&text).map_err(ConfigError::Parse)
+    }
+
+    /// Saves the configuration as pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the file cannot be written.
+    pub fn save_json_file(&self, path: impl AsRef<std::path::Path>) -> Result<(), ConfigError> {
+        let json = serde_json::to_string_pretty(self).map_err(ConfigError::Parse)?;
+        std::fs::write(path.as_ref(), json)
+            .map_err(|e| ConfigError::Io(path.as_ref().display().to_string(), e))
+    }
+
+    /// A passthrough configuration: all hooks installed (so anti-hooking
+    /// checks still see the `JMP` patches) but no values are faked. Used by
+    /// the "sheer presence of in-line hooking" ablation (Section III-A).
+    pub fn presence_only() -> Self {
+        Config {
+            software: false,
+            hardware: false,
+            network: false,
+            weartear: false,
+            protect_processes: false,
+            ..Config::default()
+        }
+    }
+
+    /// Deceptive wear-and-tear values of Table III.
+    pub fn weartear_fakes() -> WearTearFakes {
+        WearTearFakes::default()
+    }
+}
+
+/// Errors loading or saving a [`Config`].
+#[derive(Debug)]
+pub enum ConfigError {
+    /// Filesystem access failed (path, cause).
+    Io(String, std::io::Error),
+    /// JSON (de)serialization failed.
+    Parse(serde_json::Error),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::Io(path, e) => write!(f, "config file {path}: {e}"),
+            ConfigError::Parse(e) => write!(f, "config parse error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ConfigError::Io(_, e) => Some(e),
+            ConfigError::Parse(e) => Some(e),
+        }
+    }
+}
+
+/// The faked wear-and-tear resource values of Table III.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WearTearFakes {
+    /// `dnscacheEntries`: "Recent 4 entries".
+    pub dns_cache_entries: Vec<String>,
+    /// `sysevt`: "Recent 8K system events".
+    pub sys_events: usize,
+    /// `syssrc`: sources present in those fabricated events.
+    pub event_sources: Vec<String>,
+    /// `deviceClsCount`: "29 subkeys".
+    pub device_classes: u64,
+    /// `autoRunCount`: "3 value entries".
+    pub autoruns: u64,
+    /// `regSize`: "SystemRegistryQuotaInformation 53M (bytes)".
+    pub registry_quota_bytes: u64,
+    /// `uninstallCount` subkeys.
+    pub uninstall: u64,
+    /// `totalSharedDlls` values.
+    pub shared_dlls: u64,
+    /// `totalAppPaths` subkeys.
+    pub app_paths: u64,
+    /// `totalActiveSetup` subkeys.
+    pub active_setup: u64,
+    /// `usrassistCount` values.
+    pub user_assist: u64,
+    /// `shimCacheCount` values.
+    pub shim_cache: u64,
+    /// `MUICacheEntries` values.
+    pub mui_cache: u64,
+    /// `FireruleCount` values.
+    pub firewall_rules: u64,
+    /// `USBStorCount` subkeys.
+    pub usb_stor: u64,
+}
+
+impl Default for WearTearFakes {
+    fn default() -> Self {
+        WearTearFakes {
+            dns_cache_entries: vec![
+                "ctldl.windowsupdate.com".to_owned(),
+                "www.msftncsi.com".to_owned(),
+                "time.windows.com".to_owned(),
+                "teredo.ipv6.microsoft.com".to_owned(),
+            ],
+            sys_events: 8_000,
+            event_sources: vec![
+                "Service Control Manager".to_owned(),
+                "EventLog".to_owned(),
+                "Kernel-General".to_owned(),
+                "Kernel-Power".to_owned(),
+                "Kernel-Boot".to_owned(),
+                "Winlogon".to_owned(),
+                "Dhcp".to_owned(),
+                "Tcpip".to_owned(),
+                "Ntfs".to_owned(),
+                "UserPnp".to_owned(),
+                "Time-Service".to_owned(),
+                "WMI".to_owned(),
+            ],
+            device_classes: 29,
+            autoruns: 3,
+            registry_quota_bytes: 53 * 1024 * 1024,
+            uninstall: 5,
+            shared_dlls: 28,
+            app_paths: 12,
+            active_setup: 9,
+            user_assist: 6,
+            shim_cache: 24,
+            mui_cache: 9,
+            firewall_rules: 31,
+            usb_stor: 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let c = Config::default();
+        assert_eq!(c.fake_disk_gb, 50);
+        assert_eq!(c.fake_memory_mb, 1023); // nominal 1 GB
+        assert_eq!(c.fake_cores, 1);
+        assert!(!c.active_mitigation, "the paper only records alarms");
+        assert!(!c.exclusive_profiles, "exclusive profiles are future work");
+    }
+
+    #[test]
+    fn presence_only_disables_all_deception() {
+        let c = Config::presence_only();
+        assert!(!c.software && !c.hardware && !c.network && !c.weartear);
+    }
+
+    #[test]
+    fn config_round_trips_through_json_files() {
+        let dir = std::env::temp_dir().join("scarecrow-config-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("config.json");
+        let mut c = Config::default();
+        c.fake_disk_gb = 120;
+        c.exclusive_profiles = true;
+        c.save_json_file(&path).unwrap();
+        let loaded = Config::from_json_file(&path).unwrap();
+        assert_eq!(loaded, c);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn config_errors_are_descriptive() {
+        let err = Config::from_json_file("/nonexistent/scarecrow.json").unwrap_err();
+        assert!(err.to_string().contains("/nonexistent/scarecrow.json"));
+        let dir = std::env::temp_dir().join("scarecrow-config-bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.json");
+        std::fs::write(&path, "not json").unwrap();
+        let err = Config::from_json_file(&path).unwrap_err();
+        assert!(err.to_string().contains("parse"));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn table3_values() {
+        let w = WearTearFakes::default();
+        assert_eq!(w.dns_cache_entries.len(), 4);
+        assert_eq!(w.sys_events, 8_000);
+        assert_eq!(w.device_classes, 29);
+        assert_eq!(w.autoruns, 3);
+        assert_eq!(w.registry_quota_bytes, 53 * 1024 * 1024);
+    }
+}

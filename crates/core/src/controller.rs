@@ -1,0 +1,307 @@
+//! The Scarecrow controller — the reproduction's `scarecrow.exe`
+//! (Section III-B, Figure 2).
+//!
+//! The controller starts the target program (so the sample's parent process
+//! is the analysis-daemon-like `scarecrow.exe`, not `explorer.exe`),
+//! injects `scarecrow.dll`, receives fingerprint triggers over IPC, and
+//! records self-spawn-loop alarms.
+
+use std::sync::Arc;
+
+use crossbeam::channel::Receiver;
+use hooklib::{DllImage, Injector};
+use serde::{Deserialize, Serialize};
+use tracer::Trace;
+use winsim::{Api, Machine, Pid, SimError};
+
+use crate::config::Config;
+use crate::crawler;
+use crate::engine::{DeceptionHook, EngineState, CORE_APIS, EXTRA_APIS, WEAR_APIS};
+use crate::ipc::{self, Trigger};
+use crate::resources::{ResourceDb, ResourceStats};
+
+/// The module name the injected DLL appears under.
+pub const DLL_NAME: &str = "scarecrow.dll";
+/// The controller's process image name (becomes the sample's parent).
+pub const CONTROLLER_IMAGE: &str = "scarecrow.exe";
+
+/// Result of one protected run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProtectedRun {
+    /// Pid the sample ran as.
+    pub pid: Pid,
+    /// Every fingerprint trigger, in order.
+    pub triggers: Vec<Trigger>,
+    /// Self-spawn-loop alarms raised during the run.
+    pub alarms: Vec<String>,
+    /// The kernel trace of the run.
+    pub trace: Trace,
+}
+
+impl ProtectedRun {
+    /// The first trigger — what Table I reports per sample.
+    pub fn first_trigger(&self) -> Option<&Trigger> {
+        self.triggers.first()
+    }
+}
+
+/// The deception engine: resource database + configuration + controller.
+///
+/// One `Scarecrow` can protect many runs on many machines; per-run state
+/// is reset at the start of each [`Scarecrow::run_protected`].
+///
+/// # Example
+///
+/// ```
+/// use scarecrow::{Config, Scarecrow};
+/// use winsim::env::bare_metal_sandbox;
+///
+/// let engine = Scarecrow::with_builtin_db(Config::default());
+/// let mut machine = bare_metal_sandbox();
+/// // register a sample program, then:
+/// // let run = engine.run_protected(&mut machine, "sample.exe")?;
+/// assert!(engine.db_stats().processes >= 24);
+/// ```
+pub struct Scarecrow {
+    state: Arc<EngineState>,
+    rx: Receiver<Trigger>,
+}
+
+impl std::fmt::Debug for Scarecrow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scarecrow").field("db", &self.db_stats()).finish()
+    }
+}
+
+impl Scarecrow {
+    /// Builds the full engine: curated resources plus the public-sandbox
+    /// crawl of Section II-C (17,540 files / 24 processes / 1,457 registry
+    /// entries).
+    pub fn new(config: Config) -> Self {
+        let mut db = ResourceDb::builtin();
+        let crawl = crawler::crawl_public_sandboxes();
+        crawler::extend_db(&mut db, &crawl);
+        Scarecrow::with_db(config, db)
+    }
+
+    /// Builds an engine with only the curated core database (cheaper; used
+    /// in unit tests and ablations).
+    pub fn with_builtin_db(config: Config) -> Self {
+        Scarecrow::with_db(config, ResourceDb::builtin())
+    }
+
+    /// Builds an engine over an explicit database.
+    pub fn with_db(config: Config, db: ResourceDb) -> Self {
+        let (tx, rx) = ipc::channel();
+        let state = Arc::new(EngineState::new(config, Arc::new(db), tx));
+        Scarecrow { state, rx }
+    }
+
+    /// A snapshot of the engine configuration.
+    pub fn config(&self) -> Config {
+        self.state.config.read().clone()
+    }
+
+    /// Dynamically reconfigures the engine — the Section III-B IPC path:
+    /// every already injected DLL observes the change on its next
+    /// intercepted call, without re-injection.
+    pub fn update_config<F: FnOnce(&mut Config)>(&self, f: F) {
+        f(&mut self.state.config.write());
+    }
+
+    /// Database cardinalities.
+    pub fn db_stats(&self) -> ResourceStats {
+        self.state.db.stats()
+    }
+
+    /// Every API the engine hooks: the 29 core APIs, the exception
+    /// dispatcher and Toolhelp32 extensions, plus (when the wear-and-tear
+    /// extension is enabled) the 7 APIs of Table III.
+    pub fn hooked_apis(&self) -> Vec<Api> {
+        let mut apis: Vec<Api> = CORE_APIS.to_vec();
+        apis.extend(EXTRA_APIS);
+        if self.state.config.read().weartear {
+            for api in WEAR_APIS {
+                if !apis.contains(&api) {
+                    apis.push(api);
+                }
+            }
+        }
+        apis
+    }
+
+    /// Builds a fresh `scarecrow.dll` image sharing this engine's state.
+    pub fn dll_image(&self) -> DllImage {
+        let mut dll = DllImage::new(DLL_NAME);
+        for api in self.hooked_apis() {
+            dll.hook(api, Arc::new(DeceptionHook::new(Arc::clone(&self.state))));
+        }
+        dll
+    }
+
+    /// Builds the injector (child-following per configuration).
+    pub fn injector(&self) -> Injector {
+        if self.state.config.read().follow_children {
+            Injector::new(self.dll_image())
+        } else {
+            Injector::without_follow(self.dll_image())
+        }
+    }
+
+    /// Installs the engine into an *already running* process — the
+    /// "on-demand service" deployment for processes not started by the
+    /// controller.
+    pub fn protect_process(&self, machine: &mut Machine, pid: Pid) {
+        self.injector().inject(machine, pid);
+    }
+
+    /// Runs one sample under full protection: reset per-run state, start a
+    /// controller process, launch the sample as its child with
+    /// `scarecrow.dll` injected, run to completion, and collect the trace,
+    /// triggers, and alarms.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownImage`] if the sample image was not
+    /// registered with the machine.
+    pub fn run_protected(
+        &self,
+        machine: &mut Machine,
+        image: &str,
+    ) -> Result<ProtectedRun, SimError> {
+        self.state.reset();
+        let _ = ipc::drain(&self.rx);
+        let controller = machine.add_system_process(CONTROLLER_IMAGE);
+        machine.set_trace_root(image);
+        let pid = self.injector().launch_injected(machine, image, controller)?;
+        machine.run();
+        Ok(ProtectedRun {
+            pid,
+            triggers: ipc::drain(&self.rx),
+            alarms: self.state.take_alarms(),
+            trace: machine.take_trace(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc as StdArc;
+    use winsim::{Program, ProcessCtx, System};
+
+    /// The canonical evasive sample: checks the debugger, then drops.
+    struct Evader;
+    impl Program for Evader {
+        fn image_name(&self) -> &str {
+            "evader.exe"
+        }
+        fn run(&self, ctx: &mut ProcessCtx<'_>) {
+            if ctx.is_debugger_present() {
+                ctx.exit_process(0);
+            } else {
+                ctx.create_process("svchost.exe");
+                ctx.write_file(r"C:\evil.bin", 64);
+            }
+        }
+    }
+
+    /// A self-spawner: re-spawns itself whenever it sees a debugger.
+    struct Spawner;
+    impl Program for Spawner {
+        fn image_name(&self) -> &str {
+            "spawner.exe"
+        }
+        fn run(&self, ctx: &mut ProcessCtx<'_>) {
+            if ctx.is_debugger_present() {
+                ctx.create_process("spawner.exe");
+            } else {
+                ctx.write_file(r"C:\payload.bin", 8);
+            }
+        }
+    }
+
+    #[test]
+    fn protected_run_deactivates_the_evader() {
+        let engine = Scarecrow::with_builtin_db(Config::default());
+        let mut m = Machine::new(System::new());
+        m.register_program(StdArc::new(Evader));
+        let run = engine.run_protected(&mut m, "evader.exe").unwrap();
+        assert!(!m.system().fs.exists(r"C:\evil.bin"));
+        assert_eq!(run.first_trigger().unwrap().api, Api::IsDebuggerPresent);
+        assert!(run.alarms.is_empty());
+    }
+
+    #[test]
+    fn unprotected_run_shows_the_payload() {
+        let mut m = Machine::new(System::new());
+        m.register_program(StdArc::new(Evader));
+        m.run_sample("evader.exe").unwrap();
+        assert!(m.system().fs.exists(r"C:\evil.bin"));
+    }
+
+    #[test]
+    fn parent_process_is_the_controller() {
+        let engine = Scarecrow::with_builtin_db(Config::default());
+        struct ParentChecker;
+        impl Program for ParentChecker {
+            fn image_name(&self) -> &str {
+                "pc.exe"
+            }
+            fn run(&self, ctx: &mut ProcessCtx<'_>) {
+                let parent = ctx.parent_image();
+                ctx.write_file(&format!(r"C:\parent_{parent}"), 1);
+            }
+        }
+        let mut m = Machine::new(System::new());
+        m.register_program(StdArc::new(ParentChecker));
+        engine.run_protected(&mut m, "pc.exe").unwrap();
+        assert!(m.system().fs.exists(r"C:\parent_scarecrow.exe"));
+    }
+
+    #[test]
+    fn self_spawn_loop_is_contained_and_alarmed() {
+        let engine = Scarecrow::with_builtin_db(Config::default());
+        let mut m = Machine::new(System::new());
+        m.register_program(StdArc::new(Spawner));
+        let run = engine.run_protected(&mut m, "spawner.exe").unwrap();
+        assert!(run.trace.self_spawn_count() > 10, "everlasting loop under deception");
+        assert!(!m.system().fs.exists(r"C:\payload.bin"));
+        assert!(!run.alarms.is_empty(), "controller raised the loop alarm");
+    }
+
+    #[test]
+    fn full_db_includes_the_crawl() {
+        let engine = Scarecrow::new(Config::default());
+        let stats = engine.db_stats();
+        assert!(stats.files >= 17_540);
+        // 24 curated + 24 crawled, minus the VirtualBox daemons present in
+        // both sets
+        assert!(stats.processes >= 44);
+        assert!(stats.reg_keys >= 1_457);
+    }
+
+    #[test]
+    fn hooked_api_count_matches_the_paper() {
+        let engine = Scarecrow::with_builtin_db(Config::default());
+        assert_eq!(CORE_APIS.len(), 29, "Section III-A: 29 hooked APIs");
+        assert_eq!(engine.hooked_apis().len(), 29 + EXTRA_APIS.len() + WEAR_APIS.len());
+        let engine =
+            Scarecrow::with_builtin_db(Config { weartear: false, ..Config::default() });
+        assert_eq!(engine.hooked_apis().len(), 29 + EXTRA_APIS.len());
+    }
+
+    #[test]
+    fn runs_reset_state_between_samples() {
+        let engine = Scarecrow::with_builtin_db(Config::default());
+        let mut m1 = Machine::new(System::new());
+        m1.register_program(StdArc::new(Spawner));
+        let r1 = engine.run_protected(&mut m1, "spawner.exe").unwrap();
+        assert!(!r1.alarms.is_empty());
+        let mut m2 = Machine::new(System::new());
+        m2.register_program(StdArc::new(Evader));
+        let r2 = engine.run_protected(&mut m2, "evader.exe").unwrap();
+        assert!(r2.alarms.is_empty(), "alarms must not leak across runs");
+        assert!(r2.triggers.iter().all(|t| t.api == Api::IsDebuggerPresent));
+    }
+}

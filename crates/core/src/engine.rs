@@ -1,0 +1,904 @@
+//! The injected deception engine — the reproduction's `scarecrow.dll`.
+//!
+//! One dispatcher ([`DeceptionHook`]) handles every hooked API, mirroring
+//! the paper's single DLL that "inspects the call parameters and return
+//! values. The return values are manipulated before returning to the
+//! caller if any resources in SCARECROW deceptive execution environment
+//! are queried" (Section III-B).
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use crossbeam::channel::Sender;
+use parking_lot::{Mutex, RwLock};
+use tracer::EventKind;
+use winsim::env as wenv;
+use winsim::{Api, ApiCall, ApiHook, NtStatus, Pid, Value};
+
+use crate::config::{Config, WearTearFakes};
+use crate::ipc::Trigger;
+use crate::profiles::{Profile, ProfileManager};
+use crate::resources::{Category, ResourceDb};
+
+/// The 29 core APIs Scarecrow hooks (Section III-A: "We hook 29 APIs that
+/// access SCARECROW deceptive resources").
+pub const CORE_APIS: [Api; 29] = [
+    Api::RegOpenKeyEx,
+    Api::RegQueryValueEx,
+    Api::NtQueryAttributesFile,
+    Api::GetFileAttributes,
+    Api::CreateFile,
+    Api::FindFirstFile,
+    Api::CreateProcess,
+    Api::ShellExecuteEx,
+    Api::TerminateProcess,
+    Api::OpenProcess,
+    Api::EnumProcesses,
+    Api::GetModuleHandle,
+    Api::LoadLibrary,
+    Api::EnumModules,
+    Api::GetProcAddress,
+    Api::FindWindow,
+    Api::IsDebuggerPresent,
+    Api::CheckRemoteDebuggerPresent,
+    Api::OutputDebugString,
+    Api::NtQueryInformationProcess,
+    Api::GetTickCount,
+    Api::GetSystemInfo,
+    Api::GlobalMemoryStatusEx,
+    Api::GetDiskFreeSpaceEx,
+    Api::GetModuleFileName,
+    Api::GetUserName,
+    Api::GetComputerName,
+    Api::DnsQuery,
+    Api::InternetOpenUrl,
+];
+
+/// Additional hooked entry points beyond the paper's 29: the user-mode
+/// exception dispatcher (Section II-B(g)) and the Toolhelp32 snapshot
+/// creator (the process-enumeration channel most real samples walk).
+pub const EXTRA_APIS: [Api; 2] = [Api::RaiseException, Api::CreateToolhelp32Snapshot];
+
+/// The additional APIs hooked by the wear-and-tear extension of
+/// Section IV-C.2, exactly the "Associated APIs" column of Table III.
+pub const WEAR_APIS: [Api; 7] = [
+    Api::DnsGetCacheDataTable,
+    Api::EvtNext,
+    Api::NtOpenKeyEx,
+    Api::NtQueryKey,
+    Api::NtQuerySystemInformation,
+    Api::NtQueryValueKey,
+    Api::NtCreateFile,
+];
+
+/// Shared state between the controller and every injected DLL instance.
+///
+/// The configuration sits behind a lock because the controller "dynamically
+/// updates the hooks and configurations through IPC" (Section III-B):
+/// [`crate::Scarecrow::update_config`] takes effect for every already
+/// injected DLL on its next intercepted call.
+pub struct EngineState {
+    /// Engine configuration (runtime-updatable).
+    pub config: RwLock<Config>,
+    /// Faked wear-and-tear values (Table III).
+    pub wear: WearTearFakes,
+    /// The deceptive resource database.
+    pub db: Arc<ResourceDb>,
+    /// Profile activation (Section VI-B).
+    pub profiles: ProfileManager,
+    tx: Sender<Trigger>,
+    spawn_counts: Mutex<HashMap<String, usize>>,
+    alarms: Mutex<Vec<String>>,
+}
+
+impl std::fmt::Debug for EngineState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineState").field("db", &self.db.stats()).finish()
+    }
+}
+
+impl EngineState {
+    /// Creates engine state around a database and a trigger channel.
+    pub fn new(config: Config, db: Arc<ResourceDb>, tx: Sender<Trigger>) -> Self {
+        let profiles = ProfileManager::new(config.exclusive_profiles);
+        EngineState {
+            config: RwLock::new(config),
+            wear: WearTearFakes::default(),
+            db,
+            profiles,
+            tx,
+            spawn_counts: Mutex::new(HashMap::new()),
+            alarms: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Resets per-run state (between protected runs).
+    pub fn reset(&self) {
+        self.profiles.reset();
+        self.spawn_counts.lock().clear();
+        self.alarms.lock().clear();
+    }
+
+    /// Takes the alarms recorded during the last run.
+    pub fn take_alarms(&self) -> Vec<String> {
+        std::mem::take(&mut *self.alarms.lock())
+    }
+
+    fn report(&self, call: &mut ApiCall<'_>, category: Category, resource: &str, profile: Profile) {
+        self.profiles.triggered(profile);
+        let time_ms = call.machine().system().clock.now_ms();
+        let _ = self.tx.send(Trigger {
+            api: call.api,
+            category,
+            resource: resource.to_owned(),
+            profile,
+            time_ms,
+        });
+    }
+
+    /// Checks a db lookup result against profile activation.
+    fn active(&self, hit: Option<Profile>) -> Option<Profile> {
+        hit.filter(|p| self.profiles.active(*p))
+    }
+}
+
+/// The single dispatcher installed on every hooked API.
+pub struct DeceptionHook {
+    state: Arc<EngineState>,
+}
+
+impl DeceptionHook {
+    /// Creates the dispatcher over shared engine state.
+    pub fn new(state: Arc<EngineState>) -> Self {
+        DeceptionHook { state }
+    }
+}
+
+impl ApiHook for DeceptionHook {
+    fn label(&self) -> &str {
+        "scarecrow-engine"
+    }
+
+    fn invoke(&self, call: &mut ApiCall<'_>) -> Value {
+        handle(&self.state, call)
+    }
+}
+
+/// Deterministic md5-looking hex name for the fake sample path.
+fn hash_name(image: &str) -> String {
+    let mut h1 = DefaultHasher::new();
+    image.hash(&mut h1);
+    let a = h1.finish();
+    let mut h2 = DefaultHasher::new();
+    (image, a).hash(&mut h2);
+    format!("{:016x}{:016x}", a, h2.finish())
+}
+
+/// Wear-and-tear registry overrides: key path → (subkey fake, value fake).
+fn wear_reg_override(state: &EngineState, path: &str, what: &str) -> Option<u64> {
+    let w = &state.wear;
+    let n = path.trim_matches('\\').to_ascii_lowercase();
+    let matches = |key: &str| n == key.trim_matches('\\').to_ascii_lowercase();
+    let (subkeys, values) = if matches(wenv::DEVICE_CLASSES_KEY) {
+        (Some(w.device_classes), None)
+    } else if matches(wenv::RUN_KEY) {
+        (None, Some(w.autoruns))
+    } else if matches(wenv::UNINSTALL_KEY) {
+        (Some(w.uninstall), None)
+    } else if matches(wenv::SHARED_DLLS_KEY) {
+        (None, Some(w.shared_dlls))
+    } else if matches(wenv::APP_PATHS_KEY) {
+        (Some(w.app_paths), None)
+    } else if matches(wenv::ACTIVE_SETUP_KEY) {
+        (Some(w.active_setup), None)
+    } else if matches(wenv::USER_ASSIST_KEY) {
+        (None, Some(w.user_assist))
+    } else if matches(wenv::SHIM_CACHE_KEY) {
+        (None, Some(w.shim_cache))
+    } else if matches(wenv::MUI_CACHE_KEY) {
+        (None, Some(w.mui_cache))
+    } else if matches(wenv::FIREWALL_RULES_KEY) {
+        (None, Some(w.firewall_rules))
+    } else if matches(wenv::USBSTOR_KEY) {
+        (Some(w.usb_stor), None)
+    } else {
+        (None, None)
+    };
+    match what {
+        "values" => values.or(subkeys),
+        _ => subkeys.or(values),
+    }
+}
+
+/// The engine dispatcher body.
+#[allow(clippy::too_many_lines)] // one arm per hooked API, like the real DLL
+fn handle(state: &EngineState, call: &mut ApiCall<'_>) -> Value {
+    let cfg = state.config.read().clone();
+    let cfg = &cfg;
+    match call.api {
+        // ---------- registry ----------
+        Api::RegOpenKeyEx | Api::NtOpenKeyEx => {
+            let path = call.args.str(0).to_owned();
+            if cfg.software {
+                if let Some(p) = state.active(state.db.reg_key(&path)) {
+                    state.report(call, Category::Registry, &path, p);
+                    return Value::Status(NtStatus::Success);
+                }
+            }
+            call.call_original()
+        }
+        Api::RegQueryValueEx | Api::NtQueryValueKey => {
+            let path = call.args.str(0).to_owned();
+            let name = call.args.str(1).to_owned();
+            if cfg.software {
+                let hit = state.db.reg_value(&path, &name).map(|(d, p)| (d.to_owned(), p));
+                if let Some((data, p)) = hit.filter(|(_, p)| state.profiles.active(*p)) {
+                    state.report(call, Category::Registry, &format!("{path}\\{name}"), p);
+                    return Value::Str(data);
+                }
+            }
+            call.call_original()
+        }
+        Api::NtQueryKey => {
+            let path = call.args.str(0).to_owned();
+            let what = call.args.str(1).to_owned();
+            if cfg.weartear {
+                if let Some(n) = wear_reg_override(state, &path, &what) {
+                    state.report(call, Category::WearTear, &path, Profile::Generic);
+                    return Value::U64(n);
+                }
+            }
+            if cfg.software {
+                if let Some(p) = state.active(state.db.reg_key(&path)) {
+                    state.report(call, Category::Registry, &path, p);
+                    return Value::U64(1);
+                }
+            }
+            call.call_original()
+        }
+
+        // ---------- files & devices ----------
+        Api::NtQueryAttributesFile | Api::GetFileAttributes => {
+            let path = call.args.str(0).to_owned();
+            if cfg.software {
+                if let Some(p) = state.active(state.db.file(&path)) {
+                    state.report(call, Category::File, &path, p);
+                    return match call.api {
+                        Api::GetFileAttributes => Value::U64(0x80),
+                        _ => Value::Status(NtStatus::Success),
+                    };
+                }
+            }
+            call.call_original()
+        }
+        Api::NtCreateFile | Api::CreateFile => {
+            let path = call.args.str(0).to_owned();
+            let create = call.args.str(1) == "create";
+            if cfg.software && !create {
+                if let Some(dev) = path.strip_prefix(r"\\.\") {
+                    if let Some(p) = state.active(state.db.device(dev)) {
+                        state.report(call, Category::Device, &path, p);
+                        return Value::Status(NtStatus::Success);
+                    }
+                } else if let Some(p) = state.active(state.db.file(&path)) {
+                    state.report(call, Category::File, &path, p);
+                    return Value::Status(NtStatus::Success);
+                }
+            }
+            call.call_original()
+        }
+        Api::FindFirstFile => {
+            let pattern = call.args.str(0).to_owned();
+            let original = call.call_original();
+            if !cfg.software {
+                return original;
+            }
+            let mut merged: Vec<Value> = original.as_list().unwrap_or(&[]).to_vec();
+            let (prefix, suffix) = match pattern.to_ascii_lowercase().split_once('*') {
+                Some((a, b)) => (a.to_owned(), b.to_owned()),
+                None => (pattern.to_ascii_lowercase(), String::new()),
+            };
+            let mut hit = None;
+            for (path, profile) in state.db_files_matching(&prefix, &suffix) {
+                hit = Some(profile);
+                merged.push(Value::Str(path));
+            }
+            if let Some(p) = hit {
+                state.report(call, Category::File, &pattern, p);
+            }
+            Value::List(merged)
+        }
+
+        // ---------- processes ----------
+        Api::CreateProcess | Api::ShellExecuteEx => {
+            let image = call.args.str(0).to_ascii_lowercase();
+            let count = {
+                let mut counts = state.spawn_counts.lock();
+                let c = counts.entry(image.clone()).or_insert(0);
+                *c += 1;
+                *c
+            };
+            if count == cfg.spawn_alarm_threshold {
+                let msg = format!(
+                    "self-spawn loop: {image} created {count} times under deception"
+                );
+                state.alarms.lock().push(msg.clone());
+                let pid = call.pid;
+                call.machine().record(pid, EventKind::Alarm { message: msg });
+            }
+            if cfg.active_mitigation && count > cfg.spawn_alarm_threshold {
+                // Section VI-C: "could be further mitigated by killing its
+                // parent processes or directly blocking forking".
+                let pid = call.pid;
+                call.machine().finish_process(pid, 137);
+                return Value::U64(0);
+            }
+            call.call_original()
+        }
+        Api::TerminateProcess => {
+            if cfg.protect_processes {
+                let target = call.args.u64(0) as Pid;
+                let image =
+                    call.machine().process(target).map(|p| p.image.clone()).unwrap_or_default();
+                if let Some(p) = state.active(state.db.process(&image)) {
+                    state.report(call, Category::Process, &image, p);
+                    return Value::Bool(false); // ACCESS_DENIED
+                }
+            }
+            call.call_original()
+        }
+        Api::OpenProcess => {
+            let image = call.args.str(0).to_owned();
+            if cfg.software {
+                if let Some(p) = state.active(state.db.process(&image)) {
+                    state.report(call, Category::Process, &image, p);
+                    return Value::U64(0xFEED);
+                }
+            }
+            call.call_original()
+        }
+        Api::CreateToolhelp32Snapshot => {
+            let result = call.call_original();
+            if cfg.software {
+                if let Some(handle) = result.as_u64() {
+                    let names: Vec<(String, Profile)> = state
+                        .db
+                        .process_names()
+                        .map(str::to_owned)
+                        .filter_map(|n| state.db.process(&n).map(|p| (n, p)))
+                        .collect();
+                    let mut reported = false;
+                    for (name, profile) in names {
+                        if state.profiles.active(profile) {
+                            call.machine().snapshot_append(handle, &name);
+                            if !reported {
+                                state.report(call, Category::Process, "toolhelp snapshot", profile);
+                                reported = true;
+                            }
+                        }
+                    }
+                }
+            }
+            result
+        }
+        Api::EnumProcesses => {
+            let original = call.call_original();
+            if !cfg.software {
+                return original;
+            }
+            let mut merged: Vec<Value> = original.as_list().unwrap_or(&[]).to_vec();
+            let mut reported = false;
+            let extra: Vec<String> = state
+                .db
+                .process_names()
+                .map(str::to_owned)
+                .collect();
+            for name in extra {
+                if let Some(p) = state.active(state.db.process(&name)) {
+                    if !merged.iter().any(|v| {
+                        v.as_str().is_some_and(|s| s.eq_ignore_ascii_case(&name))
+                    }) {
+                        merged.push(Value::Str(name.clone()));
+                    }
+                    if !reported {
+                        state.report(call, Category::Process, "process enumeration", p);
+                        reported = true;
+                    }
+                }
+            }
+            Value::List(merged)
+        }
+
+        // ---------- modules ----------
+        Api::GetModuleHandle | Api::LoadLibrary => {
+            let name = call.args.str(0).to_owned();
+            if cfg.software {
+                if let Some(p) = state.active(state.db.dll(&name)) {
+                    state.report(call, Category::Dll, &name, p);
+                    return Value::U64(0x5CA2_EC20);
+                }
+            }
+            call.call_original()
+        }
+        Api::EnumModules => {
+            let original = call.call_original();
+            if !cfg.software {
+                return original;
+            }
+            let mut merged: Vec<Value> = original.as_list().unwrap_or(&[]).to_vec();
+            let extra: Vec<String> = state.db.dll_names().map(str::to_owned).collect();
+            let mut reported = false;
+            for name in extra {
+                if let Some(p) = state.active(state.db.dll(&name)) {
+                    merged.push(Value::Str(name.clone()));
+                    if !reported {
+                        state.report(call, Category::Dll, "module enumeration", p);
+                        reported = true;
+                    }
+                }
+            }
+            Value::List(merged)
+        }
+        Api::GetProcAddress => {
+            let module = call.args.str(0).to_owned();
+            let proc = call.args.str(1).to_owned();
+            if cfg.software {
+                if let Some(p) = state.active(state.db.export(&module, &proc)) {
+                    state.report(call, Category::Dll, &format!("{module}!{proc}"), p);
+                    return Value::U64(0x5CA2_EC24);
+                }
+            }
+            call.call_original()
+        }
+
+        // ---------- GUI ----------
+        Api::FindWindow => {
+            let class = call.args.str(0).to_owned();
+            let title = call.args.str(1).to_owned();
+            if cfg.software {
+                let hit = state
+                    .active(state.db.window(&class))
+                    .or_else(|| state.active(state.db.window(&title)));
+                if let Some(p) = hit {
+                    state.report(call, Category::Window, &format!("{class}{title}"), p);
+                    return Value::Bool(true);
+                }
+            }
+            call.call_original()
+        }
+
+        // ---------- debugger presence ----------
+        Api::IsDebuggerPresent | Api::CheckRemoteDebuggerPresent | Api::OutputDebugString => {
+            if cfg.software {
+                state.report(call, Category::Debugger, call.api.name(), Profile::Debugger);
+                return Value::Bool(true);
+            }
+            call.call_original()
+        }
+        Api::NtQueryInformationProcess => {
+            if cfg.software && call.args.str(0) == "DebugPort" {
+                state.report(call, Category::Debugger, "DebugPort", Profile::Debugger);
+                return Value::U64(1);
+            }
+            call.call_original()
+        }
+
+        // ---------- hardware & identity ----------
+        Api::GetTickCount => {
+            if cfg.hardware {
+                let now = call.machine().system().clock.now_ms();
+                state.report(call, Category::Hardware, "uptime", Profile::Generic);
+                // preserve deltas so sleeps still measure correctly
+                Value::U64(cfg.fake_uptime_ms + now)
+            } else {
+                call.call_original()
+            }
+        }
+        Api::GetSystemInfo => {
+            if cfg.hardware {
+                state.report(call, Category::Hardware, "processor count", Profile::Generic);
+                Value::U64(cfg.fake_cores)
+            } else {
+                call.call_original()
+            }
+        }
+        Api::GlobalMemoryStatusEx => {
+            if cfg.hardware {
+                state.report(call, Category::Hardware, "physical memory", Profile::Generic);
+                Value::U64(cfg.fake_memory_mb)
+            } else {
+                call.call_original()
+            }
+        }
+        Api::GetDiskFreeSpaceEx => {
+            if cfg.hardware {
+                state.report(call, Category::Hardware, "disk size", Profile::Generic);
+                Value::List(vec![
+                    Value::U64(cfg.fake_disk_gb << 30),
+                    Value::U64(cfg.fake_disk_free_gb << 30),
+                ])
+            } else {
+                call.call_original()
+            }
+        }
+        Api::GetModuleFileName => {
+            if cfg.software {
+                let pid = call.pid;
+                let image = call
+                    .machine()
+                    .process(pid)
+                    .map(|p| p.image.clone())
+                    .unwrap_or_default();
+                state.report(call, Category::Identity, "sample path", Profile::Generic);
+                Value::Str(format!("{}\\{}.exe", cfg.fake_sample_dir, hash_name(&image)))
+            } else {
+                call.call_original()
+            }
+        }
+        Api::GetUserName => {
+            if cfg.software {
+                state.report(call, Category::Identity, "user name", Profile::Generic);
+                Value::Str(cfg.fake_user.clone())
+            } else {
+                call.call_original()
+            }
+        }
+        Api::GetComputerName => {
+            if cfg.software {
+                state.report(call, Category::Identity, "computer name", Profile::Generic);
+                Value::Str(cfg.fake_computer.clone())
+            } else {
+                call.call_original()
+            }
+        }
+
+        // ---------- exception processing (Section II-B(g)) ----------
+        Api::RaiseException => {
+            if cfg.software {
+                state.report(
+                    call,
+                    Category::Debugger,
+                    "exception dispatch timing",
+                    Profile::Debugger,
+                );
+                Value::U64(cfg.fake_exception_cycles)
+            } else {
+                call.call_original()
+            }
+        }
+
+        // ---------- network ----------
+        Api::DnsQuery => {
+            let domain = call.args.str(0).to_owned();
+            let original = call.call_original();
+            let failed = matches!(&original, Value::Status(s) if !s.is_success());
+            if cfg.network && failed {
+                state.report(call, Category::Network, &domain, Profile::Generic);
+                let a = cfg.sinkhole_addr;
+                return Value::Str(format!("{}.{}.{}.{}", a[0], a[1], a[2], a[3]));
+            }
+            original
+        }
+        Api::InternetOpenUrl => {
+            let host = call.args.str(0).to_owned();
+            let original = call.call_original();
+            if cfg.network && original.as_u64() == Some(0) {
+                state.report(call, Category::Network, &host, Profile::Generic);
+                return Value::U64(200);
+            }
+            original
+        }
+
+        // ---------- wear-and-tear extension ----------
+        Api::DnsGetCacheDataTable => {
+            if cfg.weartear {
+                state.report(call, Category::WearTear, "dns cache", Profile::Generic);
+                Value::List(
+                    state.wear.dns_cache_entries.iter().map(|d| Value::Str(d.clone())).collect(),
+                )
+            } else {
+                call.call_original()
+            }
+        }
+        Api::EvtNext => {
+            if cfg.weartear {
+                let limit = (call.args.u64(0) as usize).min(state.wear.sys_events);
+                state.report(call, Category::WearTear, "system events", Profile::Generic);
+                let srcs = &state.wear.event_sources;
+                Value::List(
+                    (0..limit).map(|i| Value::Str(srcs[i % srcs.len()].clone())).collect(),
+                )
+            } else {
+                call.call_original()
+            }
+        }
+        Api::NtQuerySystemInformation => {
+            let class = call.args.str(0).to_owned();
+            match class.as_str() {
+                "RegistryQuota" if cfg.weartear => {
+                    state.report(call, Category::WearTear, "registry quota", Profile::Generic);
+                    Value::U64(state.wear.registry_quota_bytes)
+                }
+                "ProcessInformation" if cfg.software => {
+                    let original = call.call_original();
+                    let mut merged: Vec<Value> = original.as_list().unwrap_or(&[]).to_vec();
+                    let mut reported = false;
+                    for name in state.db.process_names().map(str::to_owned).collect::<Vec<_>>() {
+                        if let Some(p) = state.active(state.db.process(&name)) {
+                            if !merged.iter().any(|v| {
+                                v.as_str().is_some_and(|s| s.eq_ignore_ascii_case(&name))
+                            }) {
+                                merged.push(Value::Str(name));
+                            }
+                            if !reported {
+                                state.report(call, Category::Process, "process enumeration", p);
+                                reported = true;
+                            }
+                        }
+                    }
+                    Value::List(merged)
+                }
+                "KernelDebugger" if cfg.software => {
+                    state.report(call, Category::Debugger, "kernel debugger", Profile::Debugger);
+                    Value::Bool(true)
+                }
+                _ => call.call_original(),
+            }
+        }
+
+        // anything else the engine was (mis)installed on: pass through
+        _ => call.call_original(),
+    }
+}
+
+impl EngineState {
+    /// Deceptive files matching a `prefix*suffix` glob, profile-filtered.
+    fn db_files_matching(&self, prefix: &str, suffix: &str) -> Vec<(String, Profile)> {
+        self.db
+            .files_iter()
+            .filter(|(path, profile)| {
+                self.profiles.active(*profile)
+                    && path.starts_with(prefix)
+                    && path.ends_with(suffix)
+            })
+            .map(|(path, profile)| (path.to_owned(), profile))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ipc;
+    use std::sync::Arc;
+    use winsim::{args, Machine, System};
+
+    fn engine() -> (Arc<EngineState>, crossbeam::channel::Receiver<Trigger>) {
+        let (tx, rx) = ipc::channel();
+        let db = Arc::new(ResourceDb::builtin());
+        (Arc::new(EngineState::new(Config::default(), db, tx)), rx)
+    }
+
+    fn hooked_machine(state: &Arc<EngineState>) -> (Machine, Pid) {
+        let mut m = Machine::new(System::new());
+        let pid = m.add_system_process("sample.exe");
+        for api in CORE_APIS.iter().chain(WEAR_APIS.iter()) {
+            m.install_hook(pid, *api, Arc::new(DeceptionHook::new(Arc::clone(state))));
+        }
+        (m, pid)
+    }
+
+    #[test]
+    fn registry_key_deception_and_trigger() {
+        let (state, rx) = engine();
+        let (mut m, pid) = hooked_machine(&state);
+        let v = m.call_api(pid, Api::RegOpenKeyEx, args![r"HKLM\SOFTWARE\VMware, Inc.\VMware Tools"]);
+        assert_eq!(v.as_status(), NtStatus::Success);
+        let triggers = ipc::drain(&rx);
+        assert_eq!(triggers.len(), 1);
+        assert_eq!(triggers[0].category, Category::Registry);
+        assert_eq!(triggers[0].profile, Profile::VMware);
+    }
+
+    #[test]
+    fn non_deceptive_keys_fall_through() {
+        let (state, rx) = engine();
+        let (mut m, pid) = hooked_machine(&state);
+        m.system_mut().registry.create_key(r"HKLM\SOFTWARE\RealApp");
+        assert_eq!(
+            m.call_api(pid, Api::RegOpenKeyEx, args![r"HKLM\SOFTWARE\RealApp"]).as_status(),
+            NtStatus::Success
+        );
+        assert_eq!(
+            m.call_api(pid, Api::RegOpenKeyEx, args![r"HKLM\SOFTWARE\Missing"]).as_status(),
+            NtStatus::ObjectNameNotFound
+        );
+        assert!(ipc::drain(&rx).is_empty());
+    }
+
+    #[test]
+    fn debugger_lies() {
+        let (state, rx) = engine();
+        let (mut m, pid) = hooked_machine(&state);
+        assert_eq!(m.call_api(pid, Api::IsDebuggerPresent, args![]), Value::Bool(true));
+        assert_eq!(ipc::drain(&rx)[0].category, Category::Debugger);
+    }
+
+    #[test]
+    fn hardware_fakes_match_config() {
+        let (state, _rx) = engine();
+        let (mut m, pid) = hooked_machine(&state);
+        assert_eq!(m.call_api(pid, Api::GetSystemInfo, args![]).as_u64(), Some(1));
+        assert_eq!(m.call_api(pid, Api::GlobalMemoryStatusEx, args![]).as_u64(), Some(1023));
+        let disk = m.call_api(pid, Api::GetDiskFreeSpaceEx, args!["C"]);
+        assert_eq!(disk.as_list().unwrap()[0].as_u64(), Some(50 << 30));
+    }
+
+    #[test]
+    fn tick_count_preserves_deltas() {
+        let (state, _rx) = engine();
+        let (mut m, pid) = hooked_machine(&state);
+        let t1 = m.call_api(pid, Api::GetTickCount, args![]).as_u64().unwrap();
+        m.call_api(pid, Api::Sleep, args![2_000u64]);
+        let t2 = m.call_api(pid, Api::GetTickCount, args![]).as_u64().unwrap();
+        assert!(t1 < 12 * 60 * 1000, "uptime looks fresh-boot");
+        assert!((t2 - t1) >= 2_000, "sleep deltas survive the fake");
+    }
+
+    #[test]
+    fn nx_domains_are_sinkholed_but_real_dns_untouched() {
+        let (state, rx) = engine();
+        let (mut m, pid) = hooked_machine(&state);
+        m.system_mut().network.add_host("real.example.com", [1, 2, 3, 4]);
+        assert_eq!(
+            m.call_api(pid, Api::DnsQuery, args!["real.example.com"]).as_str(),
+            Some("1.2.3.4")
+        );
+        assert!(ipc::drain(&rx).is_empty());
+        let v = m.call_api(pid, Api::DnsQuery, args!["iuqerfsodp9ifjaposdfjhgosurijfaewrwergwea.test"]);
+        assert_eq!(v.as_str(), Some("10.11.12.13"));
+        assert_eq!(ipc::drain(&rx)[0].category, Category::Network);
+        // HTTP against the sinkholed domain answers 200
+        let code = m.call_api(pid, Api::InternetOpenUrl, args!["another-nx-domain.test"]);
+        assert_eq!(code.as_u64(), Some(200));
+    }
+
+    #[test]
+    fn process_enumeration_is_augmented() {
+        let (state, _rx) = engine();
+        let (mut m, pid) = hooked_machine(&state);
+        let list = m.call_api(pid, Api::EnumProcesses, args![]);
+        let names: Vec<&str> =
+            list.as_list().unwrap().iter().filter_map(Value::as_str).collect();
+        assert!(names.iter().any(|n| n.eq_ignore_ascii_case("olydbg.exe")));
+        assert!(names.iter().any(|n| n.eq_ignore_ascii_case("VBoxService.exe")));
+    }
+
+    #[test]
+    fn protected_processes_cannot_be_terminated() {
+        let (state, rx) = engine();
+        let (mut m, pid) = hooked_machine(&state);
+        let victim = m.add_system_process("procmon.exe");
+        let v = m.call_api(pid, Api::TerminateProcess, args![u64::from(victim)]);
+        assert_eq!(v, Value::Bool(false));
+        assert!(m.find_process("procmon.exe").is_some());
+        assert_eq!(ipc::drain(&rx)[0].category, Category::Process);
+        // unprotected processes still die
+        let bystander = m.add_system_process("randomapp.exe");
+        assert_eq!(m.call_api(pid, Api::TerminateProcess, args![u64::from(bystander)]), Value::Bool(true));
+    }
+
+    #[test]
+    fn wear_overrides_fake_an_unused_machine() {
+        let (state, rx) = engine();
+        let (mut m, pid) = hooked_machine(&state);
+        // worn machine: many device classes
+        for i in 0..200 {
+            m.system_mut()
+                .registry
+                .create_key(&format!(r"{}\{{c{i}}}", winsim::env::DEVICE_CLASSES_KEY));
+        }
+        let n = m.call_api(pid, Api::NtQueryKey, args![winsim::env::DEVICE_CLASSES_KEY, "subkeys"]);
+        assert_eq!(n.as_u64(), Some(29), "Table III: 29 subkeys");
+        let quota = m.call_api(pid, Api::NtQuerySystemInformation, args!["RegistryQuota"]);
+        assert_eq!(quota.as_u64(), Some(53 * 1024 * 1024));
+        let events = m.call_api(pid, Api::EvtNext, args![100_000u64]);
+        assert_eq!(events.as_list().unwrap().len(), 8_000);
+        let cache = m.call_api(pid, Api::DnsGetCacheDataTable, args![]);
+        assert_eq!(cache.as_list().unwrap().len(), 4);
+        assert!(ipc::drain(&rx).iter().all(|t| t.category == Category::WearTear));
+    }
+
+    #[test]
+    fn spawn_loop_alarm_fires_at_threshold() {
+        let (state, _rx) = engine();
+        let (mut m, pid) = hooked_machine(&state);
+        let threshold = state.config.read().spawn_alarm_threshold;
+        for _ in 0..threshold {
+            m.call_api(pid, Api::CreateProcess, args!["sample.exe"]);
+        }
+        let alarms = state.take_alarms();
+        assert_eq!(alarms.len(), 1);
+        assert!(alarms[0].contains("self-spawn loop"));
+        assert!(m.trace().events().iter().any(|e| matches!(e.kind, EventKind::Alarm { .. })));
+    }
+
+    #[test]
+    fn active_mitigation_kills_the_loop() {
+        let (tx, _rx) = ipc::channel();
+        let cfg = Config {
+            active_mitigation: true,
+            spawn_alarm_threshold: 5,
+            ..Config::default()
+        };
+        let state =
+            Arc::new(EngineState::new(cfg, Arc::new(ResourceDb::builtin()), tx));
+        let (mut m, pid) = hooked_machine(&state);
+        let mut blocked = false;
+        for _ in 0..10 {
+            let v = m.call_api(pid, Api::CreateProcess, args!["sample.exe"]);
+            if v.as_u64() == Some(0) {
+                blocked = true;
+                break;
+            }
+        }
+        assert!(blocked, "mitigation must block the fork bomb");
+        // the forking caller itself was killed (Section VI-C)
+        assert_eq!(m.process(pid).unwrap().state, winsim::ProcState::Terminated);
+    }
+
+    #[test]
+    fn presence_only_config_passes_everything_through() {
+        let (tx, rx) = ipc::channel();
+        let state = Arc::new(EngineState::new(
+            Config::presence_only(),
+            Arc::new(ResourceDb::builtin()),
+            tx,
+        ));
+        let (mut m, pid) = hooked_machine(&state);
+        assert_eq!(m.call_api(pid, Api::IsDebuggerPresent, args![]), Value::Bool(false));
+        assert_eq!(
+            m.call_api(pid, Api::RegOpenKeyEx, args![r"HKLM\SOFTWARE\VMware, Inc.\VMware Tools"])
+                .as_status(),
+            NtStatus::ObjectNameNotFound
+        );
+        assert!(ipc::drain(&rx).is_empty());
+        // but the hooks are still *visible* to anti-hook checks
+        assert!(hooklib::check_hook(
+            &m.process(pid).unwrap().api_prologue(Api::IsDebuggerPresent)
+        ));
+    }
+
+    #[test]
+    fn exclusive_profiles_silence_conflicts() {
+        let (tx, _rx) = ipc::channel();
+        let cfg = Config { exclusive_profiles: true, ..Config::default() };
+        let state =
+            Arc::new(EngineState::new(cfg, Arc::new(ResourceDb::builtin()), tx));
+        let (mut m, pid) = hooked_machine(&state);
+        // first fingerprint: VMware
+        let v = m.call_api(pid, Api::RegOpenKeyEx, args![r"HKLM\SOFTWARE\VMware, Inc.\VMware Tools"]);
+        assert_eq!(v.as_status(), NtStatus::Success);
+        // VirtualBox resources now deny — no contradiction visible
+        let v = m.call_api(
+            pid,
+            Api::RegOpenKeyEx,
+            args![r"HKLM\SOFTWARE\Oracle\VirtualBox Guest Additions"],
+        );
+        assert_eq!(v.as_status(), NtStatus::ObjectNameNotFound);
+        // generic deception (debugger) still answers
+        assert_eq!(m.call_api(pid, Api::IsDebuggerPresent, args![]), Value::Bool(true));
+    }
+
+    #[test]
+    fn fake_sample_path_is_stable_and_hashlike() {
+        let a = hash_name("pafish.exe");
+        let b = hash_name("pafish.exe");
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 32);
+        assert!(a.chars().all(|c| c.is_ascii_hexdigit()));
+        assert_ne!(hash_name("other.exe"), a);
+    }
+}

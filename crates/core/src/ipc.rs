@@ -1,0 +1,88 @@
+//! The IPC channel between the injected `scarecrow.dll` and the
+//! `scarecrow.exe` controller (Section III-B).
+//!
+//! "scarecrow.dll communicates with scarecrow.exe through interprocess
+//! communication channels when a deceptive execution environment is
+//! fingerprinted by evasive malware." In the simulation the channel is a
+//! lock-free crossbeam channel; hook handlers send a [`Trigger`] each time
+//! a deceptive resource answers, and the controller drains them after the
+//! run.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use serde::{Deserialize, Serialize};
+use winsim::Api;
+
+use crate::profiles::Profile;
+use crate::resources::Category;
+
+/// One fingerprinting event: an evasive check hit a deceptive resource.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trigger {
+    /// The hooked API through which the resource was queried.
+    pub api: Api,
+    /// The resource category.
+    pub category: Category,
+    /// The queried resource (path, name, key, domain, …).
+    pub resource: String,
+    /// The profile that answered.
+    pub profile: Profile,
+    /// Virtual time of the query.
+    pub time_ms: u64,
+}
+
+impl std::fmt::Display for Trigger {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{} ms] {}() fingerprinted {} resource {:?} ({} profile)",
+            self.time_ms, self.api, self.category, self.resource, self.profile
+        )
+    }
+}
+
+/// Creates the controller↔DLL channel.
+pub fn channel() -> (Sender<Trigger>, Receiver<Trigger>) {
+    unbounded()
+}
+
+/// Drains all pending triggers from the receiver without blocking.
+pub fn drain(rx: &Receiver<Trigger>) -> Vec<Trigger> {
+    let mut out = Vec::new();
+    while let Ok(t) = rx.try_recv() {
+        out.push(t);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> Trigger {
+        Trigger {
+            api: Api::IsDebuggerPresent,
+            category: Category::Debugger,
+            resource: "IsDebuggerPresent".into(),
+            profile: Profile::Debugger,
+            time_ms: ms,
+        }
+    }
+
+    #[test]
+    fn drain_returns_all_pending_in_order() {
+        let (tx, rx) = channel();
+        tx.send(t(1)).unwrap();
+        tx.send(t(2)).unwrap();
+        let got = drain(&rx);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].time_ms, 1);
+        assert!(drain(&rx).is_empty());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = t(5).to_string();
+        assert!(s.contains("IsDebuggerPresent"));
+        assert!(s.contains("debugger"));
+    }
+}

@@ -1,0 +1,223 @@
+//! Deception profiles and the conflict-avoiding profile manager.
+//!
+//! Scarecrow integrates deceptive resources from *many* analysis platforms
+//! at once, which a Scarecrow-aware attacker could detect by looking for
+//! contradictions ("neither a production nor an analysis environment could
+//! belong to multiple VMs simultaneously", Section VI-B). The proposed
+//! counter-measure — "prepare multiple profiles … if one property of any
+//! individual profile is triggered, we can disable all other profiles
+//! immediately" — is implemented here as [`ProfileManager`] in exclusive
+//! mode.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+/// The analysis platform a deceptive resource impersonates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Profile {
+    /// VMware guest tools and drivers.
+    VMware,
+    /// VirtualBox guest additions.
+    VirtualBox,
+    /// The Sandboxie sandbox.
+    Sandboxie,
+    /// A Cuckoo-style sandbox deployment.
+    Cuckoo,
+    /// Interactive debuggers (OllyDbg, WinDbg, IDA, …).
+    Debugger,
+    /// Wine.
+    Wine,
+    /// QEMU.
+    Qemu,
+    /// Bochs.
+    Bochs,
+    /// Parallels Desktop guest tools.
+    Parallels,
+    /// Xen paravirtual drivers.
+    Xen,
+    /// Microsoft Hyper-V integration services.
+    HyperV,
+    /// Resources crawled from public online sandboxes (Section II-C).
+    PublicSandbox,
+    /// Resources learned at runtime from MalGene evasion signatures
+    /// (Section II-C's continuous-learning feed). Like [`Profile::Generic`],
+    /// learned resources answer in every profile mode — a signature proves
+    /// real malware keys on them.
+    Learned,
+    /// Generic analysis-environment traits not tied to one platform
+    /// (hardware sizes, uptime, sample naming, sinkholing, wear artifacts).
+    Generic,
+}
+
+impl Profile {
+    /// All concrete platform profiles (excluding the always-on
+    /// [`Profile::Generic`]).
+    pub fn platforms() -> &'static [Profile] {
+        &[
+            Profile::VMware,
+            Profile::VirtualBox,
+            Profile::Sandboxie,
+            Profile::Cuckoo,
+            Profile::Debugger,
+            Profile::Wine,
+            Profile::Qemu,
+            Profile::Bochs,
+            Profile::Parallels,
+            Profile::Xen,
+            Profile::HyperV,
+            Profile::PublicSandbox,
+        ]
+    }
+
+    fn id(self) -> u8 {
+        match self {
+            Profile::VMware => 1,
+            Profile::VirtualBox => 2,
+            Profile::Sandboxie => 3,
+            Profile::Cuckoo => 4,
+            Profile::Debugger => 5,
+            Profile::Wine => 6,
+            Profile::Qemu => 7,
+            Profile::Bochs => 8,
+            Profile::PublicSandbox => 9,
+            Profile::Parallels => 10,
+            Profile::Xen => 11,
+            Profile::HyperV => 12,
+            Profile::Learned => 0,
+            Profile::Generic => 0,
+        }
+    }
+}
+
+impl std::fmt::Display for Profile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Profile::VMware => "VMware",
+            Profile::VirtualBox => "VirtualBox",
+            Profile::Sandboxie => "Sandboxie",
+            Profile::Cuckoo => "Cuckoo",
+            Profile::Debugger => "Debugger",
+            Profile::Wine => "Wine",
+            Profile::Qemu => "QEMU",
+            Profile::Bochs => "Bochs",
+            Profile::PublicSandbox => "public sandbox",
+            Profile::Parallels => "Parallels",
+            Profile::Xen => "Xen",
+            Profile::HyperV => "Hyper-V",
+            Profile::Learned => "learned",
+            Profile::Generic => "generic",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Tracks which profiles are currently answering.
+///
+/// * **Inclusive mode** (the paper's deployed configuration): every profile
+///   answers all the time.
+/// * **Exclusive mode** (Section VI-B): all profiles answer until the first
+///   platform-profile trigger; from then on only the triggered profile
+///   (plus [`Profile::Generic`]) answers.
+///
+/// Lock-free: the committed profile is a single atomic byte, because hook
+/// handlers on the hot path consult it on every resource lookup.
+#[derive(Debug)]
+pub struct ProfileManager {
+    exclusive: bool,
+    /// 0xFF = no commitment yet; otherwise the committed profile id.
+    committed: AtomicU8,
+}
+
+const UNCOMMITTED: u8 = 0xFF;
+
+impl ProfileManager {
+    /// Creates a manager in inclusive (`exclusive = false`) or exclusive
+    /// mode.
+    pub fn new(exclusive: bool) -> Self {
+        ProfileManager { exclusive, committed: AtomicU8::new(UNCOMMITTED) }
+    }
+
+    /// Whether resources of `profile` should currently answer.
+    pub fn active(&self, profile: Profile) -> bool {
+        if !self.exclusive || matches!(profile, Profile::Generic | Profile::Learned) {
+            return true;
+        }
+        match self.committed.load(Ordering::Relaxed) {
+            UNCOMMITTED => true,
+            id => id == profile.id(),
+        }
+    }
+
+    /// Records that a resource of `profile` was fingerprinted. In exclusive
+    /// mode the first platform trigger commits the manager to that profile.
+    pub fn triggered(&self, profile: Profile) {
+        if !self.exclusive || matches!(profile, Profile::Generic | Profile::Learned) {
+            return;
+        }
+        let _ = self.committed.compare_exchange(
+            UNCOMMITTED,
+            profile.id(),
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        );
+    }
+
+    /// The committed profile, if any.
+    pub fn committed(&self) -> Option<Profile> {
+        match self.committed.load(Ordering::Relaxed) {
+            UNCOMMITTED | 0 => None,
+            id => Profile::platforms().iter().copied().find(|p| p.id() == id),
+        }
+    }
+
+    /// Resets commitment (between protected runs).
+    pub fn reset(&self) {
+        self.committed.store(UNCOMMITTED, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inclusive_mode_keeps_everything_active() {
+        let pm = ProfileManager::new(false);
+        pm.triggered(Profile::VMware);
+        assert!(pm.active(Profile::VirtualBox));
+        assert!(pm.committed().is_none());
+    }
+
+    #[test]
+    fn exclusive_mode_commits_to_first_trigger() {
+        let pm = ProfileManager::new(true);
+        assert!(pm.active(Profile::VMware));
+        assert!(pm.active(Profile::VirtualBox));
+        pm.triggered(Profile::VMware);
+        assert_eq!(pm.committed(), Some(Profile::VMware));
+        assert!(pm.active(Profile::VMware));
+        assert!(!pm.active(Profile::VirtualBox), "conflicting profile must go silent");
+        assert!(pm.active(Profile::Generic), "generic traits never conflict");
+        // a later trigger cannot steal the commitment
+        pm.triggered(Profile::Bochs);
+        assert_eq!(pm.committed(), Some(Profile::VMware));
+    }
+
+    #[test]
+    fn generic_triggers_do_not_commit() {
+        let pm = ProfileManager::new(true);
+        pm.triggered(Profile::Generic);
+        assert!(pm.committed().is_none());
+        assert!(pm.active(Profile::Qemu));
+    }
+
+    #[test]
+    fn reset_clears_commitment() {
+        let pm = ProfileManager::new(true);
+        pm.triggered(Profile::Wine);
+        pm.reset();
+        assert!(pm.committed().is_none());
+        assert!(pm.active(Profile::Sandboxie));
+    }
+}

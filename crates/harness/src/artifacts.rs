@@ -1,0 +1,157 @@
+//! Run-artifact persistence.
+//!
+//! The paper's proxy uploaded all activity "in real time to avoid possible
+//! corruption of runtime traces"; the simulation's analog is saving
+//! [`RunPair`]s and [`CorpusReport`]s as JSON so analyses (MalGene
+//! extraction, report regeneration) can run offline against stored runs.
+
+use std::path::Path;
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+use crate::cluster::RunPair;
+use crate::report::CorpusReport;
+
+/// Errors reading or writing run artifacts.
+#[derive(Debug)]
+pub enum ArtifactError {
+    /// Filesystem access failed (path, cause).
+    Io(String, std::io::Error),
+    /// JSON (de)serialization failed.
+    Json(serde_json::Error),
+}
+
+impl std::fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArtifactError::Io(path, e) => write!(f, "artifact {path}: {e}"),
+            ArtifactError::Json(e) => write!(f, "artifact serialization: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ArtifactError::Io(_, e) => Some(e),
+            ArtifactError::Json(e) => Some(e),
+        }
+    }
+}
+
+fn save<T: Serialize>(value: &T, path: &Path) -> Result<(), ArtifactError> {
+    let json = serde_json::to_vec_pretty(value).map_err(ArtifactError::Json)?;
+    std::fs::write(path, json).map_err(|e| ArtifactError::Io(path.display().to_string(), e))
+}
+
+fn load<T: DeserializeOwned>(path: &Path) -> Result<T, ArtifactError> {
+    let bytes = std::fs::read(path)
+        .map_err(|e| ArtifactError::Io(path.display().to_string(), e))?;
+    serde_json::from_slice(&bytes).map_err(ArtifactError::Json)
+}
+
+impl RunPair {
+    /// Saves the paired run as pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArtifactError`] on I/O or serialization failure.
+    pub fn save_json(&self, path: impl AsRef<Path>) -> Result<(), ArtifactError> {
+        save(self, path.as_ref())
+    }
+
+    /// Loads a paired run saved with [`RunPair::save_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArtifactError`] on I/O or parse failure.
+    pub fn load_json(path: impl AsRef<Path>) -> Result<Self, ArtifactError> {
+        load(path.as_ref())
+    }
+}
+
+impl CorpusReport {
+    /// Saves the corpus report as pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArtifactError`] on I/O or serialization failure.
+    pub fn save_json(&self, path: impl AsRef<Path>) -> Result<(), ArtifactError> {
+        save(self, path.as_ref())
+    }
+
+    /// Loads a corpus report saved with [`CorpusReport::save_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArtifactError`] on I/O or parse failure.
+    pub fn load_json(path: impl AsRef<Path>) -> Result<Self, ArtifactError> {
+        load(path.as_ref())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::Cluster;
+    use scarecrow::{Config, Scarecrow};
+    use std::sync::Arc;
+    use winsim::env::bare_metal_sandbox;
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("scarecrow-artifacts-{name}"));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn run_pair_round_trips() {
+        let cluster = Cluster::new(
+            Arc::new(bare_metal_sandbox),
+            Scarecrow::with_builtin_db(Config::default()),
+        );
+        let sample = malware_sim::samples::cases::locky();
+        let pair = cluster.run_pair(sample.into_program());
+        let dir = tmpdir("pair");
+        let path = dir.join("pair.json");
+        pair.save_json(&path).unwrap();
+        let loaded = RunPair::load_json(&path).unwrap();
+        assert_eq!(loaded.verdict, pair.verdict);
+        assert_eq!(loaded.baseline, pair.baseline);
+        assert_eq!(loaded.protected.triggers, pair.protected.triggers);
+        // stored traces still support offline analysis
+        assert_eq!(
+            loaded.baseline.significant_activities(),
+            pair.baseline.significant_activities()
+        );
+        assert_eq!(
+            malgene::align(&loaded.baseline, &pair.baseline).matched.len(),
+            pair.baseline.len()
+        );
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn corpus_report_round_trips() {
+        let cluster = Cluster::new(
+            Arc::new(bare_metal_sandbox),
+            Scarecrow::with_builtin_db(Config::default()),
+        )
+        .with_limits(crate::RunLimits { budget_ms: 60_000, max_processes: 30 });
+        let corpus: Vec<_> = malware_sim::malgene_corpus(5).into_iter().take(6).collect();
+        let report = cluster.run_corpus(&corpus);
+        let dir = tmpdir("report");
+        let path = dir.join("report.json");
+        report.save_json(&path).unwrap();
+        let loaded = CorpusReport::load_json(&path).unwrap();
+        assert_eq!(loaded, report);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn load_errors_are_descriptive() {
+        let err = RunPair::load_json("/nonexistent/run.json").unwrap_err();
+        assert!(err.to_string().contains("/nonexistent/run.json"));
+    }
+}

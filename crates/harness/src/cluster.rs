@@ -1,0 +1,278 @@
+//! The cluster: per-sample paired execution with Deep-Freeze semantics.
+
+use std::sync::Arc;
+
+use malware_sim::CorpusSample;
+use scarecrow::{Config, ProtectedRun, ResourceDb, Scarecrow};
+use tracer::{Trace, Verdict};
+use winsim::{Machine, Program};
+
+use crate::report::{CorpusReport, SampleResult};
+
+/// Builds a fresh machine per run — the simulation's Deep Freeze.
+pub type MachineFactory = Arc<dyn Fn() -> Machine + Send + Sync>;
+
+/// Per-run resource limits.
+///
+/// The paper ran each sample for one virtual minute; `max_processes`
+/// bounds self-spawn loops (well above the 10-spawn verdict threshold but
+/// far below the substrate's fork-bomb cap) so large corpus sweeps stay
+/// fast.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunLimits {
+    /// Virtual-time budget per run, in ms.
+    pub budget_ms: u64,
+    /// Total process cap per run.
+    pub max_processes: usize,
+}
+
+impl Default for RunLimits {
+    fn default() -> Self {
+        RunLimits { budget_ms: winsim::DEFAULT_BUDGET_MS, max_processes: 600 }
+    }
+}
+
+/// The result of running one sample in both environments.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct RunPair {
+    /// Trace without Scarecrow.
+    pub baseline: Trace,
+    /// The protected run (trace, triggers, alarms).
+    pub protected: ProtectedRun,
+    /// The Section IV-C judgement.
+    pub verdict: Verdict,
+}
+
+/// The experiment cluster: machine factory + deception engine + limits.
+pub struct Cluster {
+    factory: MachineFactory,
+    engine: Scarecrow,
+    limits: RunLimits,
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster").field("limits", &self.limits).finish()
+    }
+}
+
+impl Cluster {
+    /// Creates a cluster over a machine preset and a deception engine.
+    pub fn new(factory: MachineFactory, engine: Scarecrow) -> Self {
+        Cluster { factory, engine, limits: RunLimits::default() }
+    }
+
+    /// Overrides run limits.
+    pub fn with_limits(mut self, limits: RunLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// The engine (e.g. for database statistics).
+    pub fn engine(&self) -> &Scarecrow {
+        &self.engine
+    }
+
+    fn fresh_machine(&self) -> Machine {
+        let mut m = (self.factory)();
+        m.budget_ms = self.limits.budget_ms;
+        m.max_processes = self.limits.max_processes;
+        m
+    }
+
+    /// Runs one program without Scarecrow on a fresh machine, returning
+    /// the machine (for state inspection) and its trace.
+    pub fn run_baseline(&self, program: Arc<dyn Program>) -> (Machine, Trace) {
+        let image = program.image_name().to_owned();
+        let mut m = self.fresh_machine();
+        m.register_program(program);
+        m.run_sample(&image).expect("registered image");
+        let trace = m.take_trace();
+        (m, trace)
+    }
+
+    /// Runs one program under Scarecrow on a fresh machine.
+    pub fn run_protected(&self, program: Arc<dyn Program>) -> (Machine, ProtectedRun) {
+        let image = program.image_name().to_owned();
+        let mut m = self.fresh_machine();
+        m.register_program(program);
+        let run = self.engine.run_protected(&mut m, &image).expect("registered image");
+        (m, run)
+    }
+
+    /// The paired experiment of Section IV-C: baseline and protected runs
+    /// on freshly reset machines, judged by trace diff.
+    pub fn run_pair(&self, program: Arc<dyn Program>) -> RunPair {
+        let (_, baseline) = self.run_baseline(Arc::clone(&program));
+        let (_, protected) = self.run_protected(program);
+        let verdict = Verdict::decide(&baseline, &protected.trace);
+        RunPair { baseline, protected, verdict }
+    }
+
+    /// Runs the whole corpus sequentially.
+    pub fn run_corpus(&self, corpus: &[CorpusSample]) -> CorpusReport {
+        let results = corpus.iter().map(|s| self.run_corpus_sample(s)).collect();
+        CorpusReport::new(results)
+    }
+
+    fn run_corpus_sample(&self, s: &CorpusSample) -> SampleResult {
+        let pair = self.run_pair(s.sample.clone().into_program());
+        SampleResult::from_pair(s, &pair)
+    }
+
+    /// Runs the corpus across `workers` threads, each with its own engine
+    /// clone (engine state is per-run; machines are per-run too, so worker
+    /// isolation mirrors the paper's independent cluster nodes).
+    pub fn run_corpus_parallel(
+        corpus: &[CorpusSample],
+        factory: MachineFactory,
+        config: &Config,
+        db: &ResourceDb,
+        limits: RunLimits,
+        workers: usize,
+    ) -> CorpusReport {
+        let workers = workers.max(1);
+        let chunk = corpus.len().div_ceil(workers);
+        let mut results: Vec<Option<SampleResult>> = vec![None; corpus.len()];
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (wi, samples) in corpus.chunks(chunk).enumerate() {
+                let factory = Arc::clone(&factory);
+                let config = config.clone();
+                let db = db.clone();
+                handles.push((
+                    wi,
+                    scope.spawn(move || {
+                        let engine = Scarecrow::with_db(config, db);
+                        let cluster = Cluster::new(factory, engine).with_limits(limits);
+                        samples
+                            .iter()
+                            .map(|s| cluster.run_corpus_sample(s))
+                            .collect::<Vec<_>>()
+                    }),
+                ));
+            }
+            for (wi, handle) in handles {
+                for (i, r) in handle.join().expect("worker panicked").into_iter().enumerate() {
+                    results[wi * chunk + i] = Some(r);
+                }
+            }
+        });
+        CorpusReport::new(results.into_iter().map(|r| r.expect("all samples ran")).collect())
+    }
+}
+
+/// Convenience: result rows enriched with corpus ground truth.
+impl SampleResult {
+    pub(crate) fn from_pair(s: &CorpusSample, pair: &RunPair) -> SampleResult {
+        let baseline_acts = pair.baseline.significant_activities();
+        SampleResult {
+            md5: s.md5.clone(),
+            family: s.family.clone(),
+            class: s.class,
+            verdict: pair.verdict.clone(),
+            protected_self_spawns: pair.protected.trace.self_spawn_count(),
+            first_trigger: pair.protected.triggers.first().map(|t| t.api.name().to_owned()),
+            baseline_created_processes: baseline_acts
+                .iter()
+                .any(|a| a.tag == "proc_create" || a.tag == "proc_inject"),
+            baseline_modified_files_or_registry: baseline_acts
+                .iter()
+                .any(|a| a.tag.starts_with("file_") || a.tag == "reg_mutate"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use malware_sim::samples::joe::joe_samples;
+    use malware_sim::{malgene_corpus, SampleClass};
+    use winsim::env::bare_metal_sandbox;
+
+    fn cluster() -> Cluster {
+        Cluster::new(
+            Arc::new(bare_metal_sandbox),
+            Scarecrow::with_builtin_db(Config::default()),
+        )
+    }
+
+    #[test]
+    fn deep_freeze_isolates_runs() {
+        let c = cluster();
+        let ransom = malware_sim::samples::cases::wannacry_initial();
+        let (m1, _) = c.run_baseline(Arc::new(ransom));
+        assert!(m1.system().fs.iter().any(|f| f.path.ends_with(".WCRY")));
+        // the next machine from the factory is clean again
+        let m2 = (c.factory)();
+        assert!(!m2.system().fs.iter().any(|f| f.path.ends_with(".WCRY")));
+    }
+
+    #[test]
+    fn joe_failure_case_survives_protection() {
+        let c = cluster();
+        let cbdda64 = joe_samples().into_iter().find(|s| s.md5 == "cbdda64").unwrap();
+        let pair = c.run_pair(cbdda64.sample.into_program());
+        assert_eq!(pair.verdict, Verdict::NotDeactivated);
+    }
+
+    #[test]
+    fn joe_debugger_sample_is_deactivated() {
+        let c = cluster();
+        let s = joe_samples().into_iter().find(|s| s.md5 == "f1a1288").unwrap();
+        let pair = c.run_pair(s.sample.into_program());
+        assert!(pair.verdict.is_deactivated());
+        assert_eq!(pair.protected.triggers[0].api, winsim::Api::IsDebuggerPresent);
+    }
+
+    #[test]
+    fn small_corpus_slice_produces_expected_verdicts() {
+        let c = cluster().with_limits(RunLimits { budget_ms: 60_000, max_processes: 80 });
+        let corpus = malgene_corpus(3);
+        // pick one of each class
+        for class in [
+            SampleClass::SelfSpawner,
+            SampleClass::Terminator,
+            SampleClass::Undeceivable,
+            SampleClass::SelfDeleter,
+        ] {
+            let s = corpus.iter().find(|s| s.class == class).unwrap();
+            let pair = c.run_pair(s.sample.clone().into_program());
+            match class {
+                SampleClass::SelfSpawner => {
+                    assert!(pair.verdict.is_self_spawn_loop(), "{:?}", pair.verdict);
+                }
+                SampleClass::Terminator => {
+                    assert!(pair.verdict.is_deactivated(), "{:?}", pair.verdict);
+                }
+                SampleClass::Undeceivable => {
+                    assert_eq!(pair.verdict, Verdict::NotDeactivated);
+                }
+                SampleClass::SelfDeleter => {
+                    assert_eq!(pair.verdict, Verdict::Indeterminate);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_and_sequential_reports_agree() {
+        let corpus: Vec<_> = malgene_corpus(3).into_iter().take(24).collect();
+        let limits = RunLimits { budget_ms: 60_000, max_processes: 60 };
+        let c = cluster().with_limits(limits);
+        let seq = c.run_corpus(&corpus);
+        let par = Cluster::run_corpus_parallel(
+            &corpus,
+            Arc::new(bare_metal_sandbox),
+            &Config::default(),
+            &ResourceDb::builtin(),
+            limits,
+            4,
+        );
+        assert_eq!(seq.deactivated(), par.deactivated());
+        for (a, b) in seq.results().iter().zip(par.results()) {
+            assert_eq!(a.md5, b.md5);
+            assert_eq!(a.verdict, b.verdict);
+        }
+    }
+}

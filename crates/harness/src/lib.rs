@@ -1,0 +1,25 @@
+//! The experiment environment of the paper's Figure 3: a cluster of
+//! bare-metal machines, each reset to a clean state (Deep Freeze) before
+//! every sample, an agent that runs one sample per boot, and a proxy that
+//! collects kernel traces in real time.
+//!
+//! In the simulation, "Deep Freeze reset" is a machine *factory*: every
+//! run constructs a fresh [`winsim::Machine`] from the same preset, so no
+//! state leaks between samples. The cluster runs each sample twice — with
+//! and without Scarecrow, "at about the same time" — and judges
+//! deactivation by trace comparison ([`tracer::Verdict`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod artifacts;
+mod cluster;
+mod probe;
+mod report;
+mod validation;
+
+pub use artifacts::ArtifactError;
+pub use cluster::{Cluster, MachineFactory, RunLimits, RunPair};
+pub use probe::spawn_probe;
+pub use report::{BenignReport, CorpusReport, FamilyRow, SampleResult};
+pub use validation::CriterionScore;

@@ -1,0 +1,165 @@
+//! Validation of the deactivation criterion against corpus ground truth.
+//!
+//! The paper validates its trace-diff methodology by hand ("we first
+//! manually analyzed the behavior of randomly-chosen 10 samples … We
+//! further examined the traces of other self-spawning samples and
+//! confirmed …"). The synthetic corpus gives us machine-checkable ground
+//! truth instead: every sample carries its behaviour class, so we can
+//! score the verdict pipeline like a classifier.
+
+use malware_sim::SampleClass;
+use serde::{Deserialize, Serialize};
+use tracer::Verdict;
+
+use crate::report::CorpusReport;
+
+/// Should this ground-truth class have been deactivated?
+fn expected_deactivated(class: SampleClass) -> Option<bool> {
+    match class {
+        SampleClass::SelfSpawner | SampleClass::Terminator => Some(true),
+        SampleClass::Undeceivable => Some(false),
+        SampleClass::SelfDeleter => None, // indeterminate by design
+    }
+}
+
+/// Classifier-style scoring of the verdict pipeline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CriterionScore {
+    /// Deactivations correctly reported (sample was deceivable and judged
+    /// deactivated).
+    pub true_positives: usize,
+    /// Samples judged deactivated that ground truth says escaped.
+    pub false_positives: usize,
+    /// Escapes correctly reported.
+    pub true_negatives: usize,
+    /// Deceivable samples the verdict missed.
+    pub false_negatives: usize,
+    /// `SelfDeleter` samples correctly judged indeterminate.
+    pub indeterminate_correct: usize,
+    /// Samples judged indeterminate that had a definite ground truth, or
+    /// `SelfDeleter` samples given a definite verdict.
+    pub indeterminate_wrong: usize,
+}
+
+impl CriterionScore {
+    /// Scores a corpus report against the embedded ground-truth classes.
+    pub fn from_report(report: &CorpusReport) -> Self {
+        let mut score = CriterionScore::default();
+        for r in report.results() {
+            let verdict_deactivated = match &r.verdict {
+                Verdict::Deactivated(_) => Some(true),
+                Verdict::NotDeactivated => Some(false),
+                Verdict::Indeterminate => None,
+            };
+            match (expected_deactivated(r.class), verdict_deactivated) {
+                (Some(true), Some(true)) => score.true_positives += 1,
+                (Some(true), Some(false)) => score.false_negatives += 1,
+                (Some(false), Some(false)) => score.true_negatives += 1,
+                (Some(false), Some(true)) => score.false_positives += 1,
+                (None, None) => score.indeterminate_correct += 1,
+                (None, Some(_)) | (Some(_), None) => score.indeterminate_wrong += 1,
+            }
+        }
+        score
+    }
+
+    /// Precision of the "deactivated" verdict.
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positives + self.false_positives;
+        if denom == 0 {
+            return 1.0;
+        }
+        self.true_positives as f64 / denom as f64
+    }
+
+    /// Recall of the "deactivated" verdict.
+    pub fn recall(&self) -> f64 {
+        let denom = self.true_positives + self.false_negatives;
+        if denom == 0 {
+            return 1.0;
+        }
+        self.true_positives as f64 / denom as f64
+    }
+
+    /// Total samples scored.
+    pub fn total(&self) -> usize {
+        self.true_positives
+            + self.false_positives
+            + self.true_negatives
+            + self.false_negatives
+            + self.indeterminate_correct
+            + self.indeterminate_wrong
+    }
+}
+
+impl std::fmt::Display for CriterionScore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "TP {} / FP {} / TN {} / FN {} / indet ok {} / indet wrong {} \
+             (precision {:.4}, recall {:.4})",
+            self.true_positives,
+            self.false_positives,
+            self.true_negatives,
+            self.false_negatives,
+            self.indeterminate_correct,
+            self.indeterminate_wrong,
+            self.precision(),
+            self.recall(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::SampleResult;
+    use tracer::DeactivationReason;
+
+    fn result(class: SampleClass, verdict: Verdict) -> SampleResult {
+        SampleResult {
+            md5: "0".repeat(32),
+            family: "F".into(),
+            class,
+            verdict,
+            protected_self_spawns: 0,
+            first_trigger: None,
+            baseline_created_processes: false,
+            baseline_modified_files_or_registry: false,
+        }
+    }
+
+    fn deactivated() -> Verdict {
+        Verdict::Deactivated(DeactivationReason::SelfSpawnLoop { count: 99 })
+    }
+
+    #[test]
+    fn confusion_matrix_cells() {
+        let report = CorpusReport::new(vec![
+            result(SampleClass::SelfSpawner, deactivated()),       // TP
+            result(SampleClass::Terminator, Verdict::NotDeactivated), // FN
+            result(SampleClass::Undeceivable, Verdict::NotDeactivated), // TN
+            result(SampleClass::Undeceivable, deactivated()),       // FP
+            result(SampleClass::SelfDeleter, Verdict::Indeterminate), // indet ok
+            result(SampleClass::SelfDeleter, deactivated()),        // indet wrong
+        ]);
+        let score = CriterionScore::from_report(&report);
+        assert_eq!(score.true_positives, 1);
+        assert_eq!(score.false_negatives, 1);
+        assert_eq!(score.true_negatives, 1);
+        assert_eq!(score.false_positives, 1);
+        assert_eq!(score.indeterminate_correct, 1);
+        assert_eq!(score.indeterminate_wrong, 1);
+        assert_eq!(score.total(), 6);
+        assert!((score.precision() - 0.5).abs() < 1e-9);
+        assert!((score.recall() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_is_complete() {
+        let score = CriterionScore::default();
+        let s = score.to_string();
+        assert!(s.contains("precision"));
+        assert!(s.contains("recall"));
+    }
+}

@@ -1,0 +1,412 @@
+//! Inline hooking and DLL-injection engine for the `winsim` substrate —
+//! the reproduction's analog of EasyHook (Section III-A of the paper).
+//!
+//! The paper realizes Scarecrow as a controller (`scarecrow.exe`) that
+//! injects a hook DLL (`scarecrow.dll`) into target processes, where it
+//! installs user-level in-line hooks. The injected DLL also hooks
+//! `CreateProcess` so that descendants of the target get injected too: "We
+//! suspend the running thread of the new process to inject scarecrow.dll
+//! into the address space of the new process and then resume it."
+//!
+//! This crate provides exactly those mechanisms over `winsim`:
+//!
+//! * [`check_hook`] — the anti-hooking detection of Figure 1 (are the first
+//!   two bytes still `mov edi, edi`?);
+//! * [`DllImage`] — a named bundle of API hooks (a "DLL");
+//! * [`Injector`] — injects a [`DllImage`] into a process, launches targets
+//!   with injection, and transparently follows child processes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::Arc;
+
+use winsim::{Api, ApiCall, ApiHook, Machine, Pid, SimError, Value, PROLOGUE_LEN};
+
+/// The in-line hook detection of the paper's Figure 1: a function whose
+/// first two bytes are no longer the hot-patch `mov edi, edi` (`8B FF`) has
+/// been hooked.
+///
+/// ```
+/// use hooklib::check_hook;
+/// use winsim::{CLEAN_PROLOGUE, HOOKED_PROLOGUE};
+/// assert!(!check_hook(&CLEAN_PROLOGUE));
+/// assert!(check_hook(&HOOKED_PROLOGUE));
+/// ```
+pub fn check_hook(prologue: &[u8; PROLOGUE_LEN]) -> bool {
+    !(prologue[0] == 0x8b && prologue[1] == 0xff)
+}
+
+/// A named bundle of hooks, modeling a hook DLL such as `scarecrow.dll`.
+///
+/// The `label` identifies every hook the DLL installs, so they can be
+/// uninstalled as a unit; the `name` appears in the target process's module
+/// list (injection is visible to module enumeration, as with real
+/// EasyHook — the paper's deception works *because* analysis-like presence
+/// is detectable).
+pub struct DllImage {
+    name: String,
+    label: String,
+    hooks: Vec<(Api, Arc<dyn ApiHook>)>,
+}
+
+impl std::fmt::Debug for DllImage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DllImage")
+            .field("name", &self.name)
+            .field("label", &self.label)
+            .field("hooks", &self.hooks.len())
+            .finish()
+    }
+}
+
+impl DllImage {
+    /// Creates an empty DLL image. `name` is the module file name
+    /// (e.g. `scarecrow.dll`); it doubles as the hook label.
+    pub fn new(name: impl Into<String>) -> Self {
+        let name = name.into();
+        DllImage { label: name.clone(), name, hooks: Vec::new() }
+    }
+
+    /// Adds a hook on an API. Later additions sit *deeper* in the chain
+    /// (closer to the original), matching repeated inline patching.
+    pub fn hook(&mut self, api: Api, hook: Arc<dyn ApiHook>) -> &mut Self {
+        self.hooks.push((api, hook));
+        self
+    }
+
+    /// The module name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The label every installed hook carries.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Number of APIs this DLL hooks.
+    pub fn hook_count(&self) -> usize {
+        self.hooks.len()
+    }
+
+    /// APIs hooked by this image.
+    pub fn hooked_apis(&self) -> impl Iterator<Item = Api> + '_ {
+        self.hooks.iter().map(|(api, _)| *api)
+    }
+}
+
+/// Wraps a hook so it reports the owning DLL's label (needed for
+/// label-based uninstall).
+struct LabeledHook {
+    label: String,
+    inner: Arc<dyn ApiHook>,
+}
+
+impl ApiHook for LabeledHook {
+    fn label(&self) -> &str {
+        &self.label
+    }
+    fn invoke(&self, call: &mut ApiCall<'_>) -> Value {
+        self.inner.invoke(call)
+    }
+}
+
+/// Injects a [`DllImage`] into processes and keeps it injected across
+/// process creation (the descendant-following mechanism of Section III-B).
+#[derive(Clone)]
+pub struct Injector {
+    dll: Arc<DllImage>,
+    follow_children: bool,
+}
+
+impl std::fmt::Debug for Injector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Injector")
+            .field("dll", &self.dll.name)
+            .field("follow_children", &self.follow_children)
+            .finish()
+    }
+}
+
+impl Injector {
+    /// Creates an injector for a DLL image that follows child processes.
+    pub fn new(dll: DllImage) -> Self {
+        Injector { dll: Arc::new(dll), follow_children: true }
+    }
+
+    /// Creates an injector that does *not* propagate to children (for
+    /// ablation experiments).
+    pub fn without_follow(dll: DllImage) -> Self {
+        Injector { dll: Arc::new(dll), follow_children: false }
+    }
+
+    /// The injected DLL.
+    pub fn dll(&self) -> &DllImage {
+        &self.dll
+    }
+
+    /// Injects the DLL into an existing process: maps the module and
+    /// installs every hook. Idempotent per process (a second injection is
+    /// skipped, as the module is already mapped).
+    pub fn inject(&self, machine: &mut Machine, pid: Pid) {
+        let already = machine
+            .process(pid)
+            .map(|p| p.module_loaded(&self.dll.name))
+            .unwrap_or(true);
+        if already {
+            return;
+        }
+        if let Some(p) = machine.process_mut(pid) {
+            p.load_module(&self.dll.name);
+        }
+        machine.record(
+            pid,
+            tracer::EventKind::ImageLoad { pid, image: self.dll.name.clone() },
+        );
+        for (api, hook) in &self.dll.hooks {
+            machine.install_hook(
+                pid,
+                *api,
+                Arc::new(LabeledHook { label: self.dll.label.clone(), inner: Arc::clone(hook) }),
+            );
+        }
+        if self.follow_children {
+            for api in [Api::CreateProcess, Api::ShellExecuteEx] {
+                machine.install_hook(
+                    pid,
+                    api,
+                    Arc::new(FollowChildrenHook { injector: self.clone() }),
+                );
+            }
+        }
+    }
+
+    /// Removes this DLL's hooks (and follow hooks) from a process and
+    /// unmaps the module. Returns the number of hooks removed.
+    pub fn eject(&self, machine: &mut Machine, pid: Pid) -> usize {
+        let mut removed = 0;
+        for api in Api::all() {
+            removed += machine.uninstall_hooks(pid, *api, &self.dll.label);
+            removed += machine.uninstall_hooks(pid, *api, FOLLOW_LABEL);
+        }
+        if let Some(p) = machine.process_mut(pid) {
+            p.modules.retain(|m| !m.eq_ignore_ascii_case(&self.dll.name));
+        }
+        removed
+    }
+
+    /// Launches a registered program as a child of `parent`, suspended;
+    /// injects the DLL; resumes. This is the paper's controller start
+    /// sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownImage`] if the image has no registered
+    /// program body.
+    pub fn launch_injected(
+        &self,
+        machine: &mut Machine,
+        image: &str,
+        parent: Pid,
+    ) -> Result<Pid, SimError> {
+        if !machine.has_program(image) {
+            return Err(SimError::UnknownImage(image.to_owned()));
+        }
+        machine.set_trace_root(image);
+        let pid = machine.spawn(image, parent, true);
+        self.inject(machine, pid);
+        machine.resume(pid);
+        Ok(pid)
+    }
+}
+
+const FOLLOW_LABEL: &str = "injector-follow";
+
+/// The `CreateProcess`/`ShellExecuteEx` hook that implements descendant
+/// following: force-suspend the child, inject, then resume if the caller
+/// didn't ask for suspension.
+struct FollowChildrenHook {
+    injector: Injector,
+}
+
+impl ApiHook for FollowChildrenHook {
+    fn label(&self) -> &str {
+        FOLLOW_LABEL
+    }
+
+    fn invoke(&self, call: &mut ApiCall<'_>) -> Value {
+        let caller_wants_suspended = call.args.bool(1);
+        call.args.set(1, Value::Bool(true)); // force CREATE_SUSPENDED
+        let result = call.call_original();
+        let child = result.as_u64().unwrap_or(0) as Pid;
+        if child != 0 {
+            self.injector.inject(call.machine(), child);
+            if !caller_wants_suspended {
+                call.machine().resume(child);
+            }
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use winsim::{args, Program, ProcessCtx, System};
+
+    /// Returns `true` from `IsDebuggerPresent`, like scarecrow.dll.
+    struct LieAboutDebugger;
+    impl ApiHook for LieAboutDebugger {
+        fn invoke(&self, _call: &mut ApiCall<'_>) -> Value {
+            Value::Bool(true)
+        }
+    }
+
+    struct DebugCheckingPayload;
+    impl Program for DebugCheckingPayload {
+        fn image_name(&self) -> &str {
+            "payload.exe"
+        }
+        fn run(&self, ctx: &mut ProcessCtx<'_>) {
+            if !ctx.is_debugger_present() {
+                ctx.write_file(r"C:\pwned.txt", 8);
+            }
+        }
+    }
+
+    /// Parent that spawns payload.exe, as malware droppers do.
+    struct Dropper;
+    impl Program for Dropper {
+        fn image_name(&self) -> &str {
+            "dropper.exe"
+        }
+        fn run(&self, ctx: &mut ProcessCtx<'_>) {
+            ctx.create_process("payload.exe");
+        }
+    }
+
+    fn test_dll() -> DllImage {
+        let mut dll = DllImage::new("scarecrow.dll");
+        dll.hook(Api::IsDebuggerPresent, Arc::new(LieAboutDebugger));
+        dll
+    }
+
+    #[test]
+    fn figure1_detection_round_trip() {
+        let mut m = Machine::new(System::new());
+        m.register_program(Arc::new(DebugCheckingPayload));
+        let pid = m.launch("payload.exe").unwrap();
+        // before hooking: clean
+        assert!(!check_hook(&m.process(pid).unwrap().api_prologue(Api::IsDebuggerPresent)));
+        Injector::new(test_dll()).inject(&mut m, pid);
+        assert!(check_hook(&m.process(pid).unwrap().api_prologue(Api::IsDebuggerPresent)));
+    }
+
+    #[test]
+    fn injection_maps_module_and_intercepts() {
+        let mut m = Machine::new(System::new());
+        m.register_program(Arc::new(DebugCheckingPayload));
+        let pid = m.launch("payload.exe").unwrap();
+        Injector::new(test_dll()).inject(&mut m, pid);
+        assert!(m.process(pid).unwrap().module_loaded("scarecrow.dll"));
+        m.run();
+        assert!(!m.system().fs.exists(r"C:\pwned.txt"), "payload must be deceived");
+    }
+
+    #[test]
+    fn injection_is_idempotent() {
+        let mut m = Machine::new(System::new());
+        m.register_program(Arc::new(DebugCheckingPayload));
+        let pid = m.launch("payload.exe").unwrap();
+        let inj = Injector::new(test_dll());
+        inj.inject(&mut m, pid);
+        let hooks_after_first = m.process(pid).unwrap().hooked_api_count();
+        inj.inject(&mut m, pid);
+        assert_eq!(m.process(pid).unwrap().hooked_api_count(), hooks_after_first);
+    }
+
+    #[test]
+    fn children_inherit_the_injection() {
+        let mut m = Machine::new(System::new());
+        m.register_program(Arc::new(Dropper));
+        m.register_program(Arc::new(DebugCheckingPayload));
+        let pid = m.launch("dropper.exe").unwrap();
+        Injector::new(test_dll()).inject(&mut m, pid);
+        m.run();
+        // the child was injected before it ran, so its debugger check lied
+        assert!(!m.system().fs.exists(r"C:\pwned.txt"));
+    }
+
+    #[test]
+    fn without_follow_children_escape() {
+        let mut m = Machine::new(System::new());
+        m.register_program(Arc::new(Dropper));
+        m.register_program(Arc::new(DebugCheckingPayload));
+        let pid = m.launch("dropper.exe").unwrap();
+        Injector::without_follow(test_dll()).inject(&mut m, pid);
+        m.run();
+        assert!(m.system().fs.exists(r"C:\pwned.txt"), "child escaped the ablated injector");
+    }
+
+    #[test]
+    fn launch_injected_hooks_before_first_instruction() {
+        let mut m = Machine::new(System::new());
+        m.register_program(Arc::new(DebugCheckingPayload));
+        let parent = m.explorer_pid();
+        let inj = Injector::new(test_dll());
+        inj.launch_injected(&mut m, "payload.exe", parent).unwrap();
+        m.run();
+        assert!(!m.system().fs.exists(r"C:\pwned.txt"));
+    }
+
+    #[test]
+    fn launch_injected_rejects_unknown_images() {
+        let mut m = Machine::new(System::new());
+        let parent = m.explorer_pid();
+        let err = Injector::new(test_dll()).launch_injected(&mut m, "ghost.exe", parent);
+        assert!(matches!(err, Err(SimError::UnknownImage(_))));
+    }
+
+    #[test]
+    fn eject_restores_clean_state() {
+        let mut m = Machine::new(System::new());
+        m.register_program(Arc::new(DebugCheckingPayload));
+        let pid = m.launch("payload.exe").unwrap();
+        let inj = Injector::new(test_dll());
+        inj.inject(&mut m, pid);
+        let removed = inj.eject(&mut m, pid);
+        assert!(removed >= 3); // 1 deception hook + 2 follow hooks
+        let p = m.process(pid).unwrap();
+        assert!(!p.module_loaded("scarecrow.dll"));
+        assert!(!check_hook(&p.api_prologue(Api::IsDebuggerPresent)));
+    }
+
+    #[test]
+    fn forced_suspension_is_transparent_to_the_caller() {
+        // A sample that spawns suspended and resumes manually must still work.
+        struct SuspendSpawner;
+        impl Program for SuspendSpawner {
+            fn image_name(&self) -> &str {
+                "susp.exe"
+            }
+            fn run(&self, ctx: &mut ProcessCtx<'_>) {
+                let child = ctx.create_process_suspended("payload.exe");
+                assert!(child != 0);
+                ctx.call(Api::ResumeThread, args![u64::from(child)]);
+            }
+        }
+        let mut m = Machine::new(System::new());
+        m.register_program(Arc::new(SuspendSpawner));
+        m.register_program(Arc::new(DebugCheckingPayload));
+        let pid = m.launch("susp.exe").unwrap();
+        Injector::new(test_dll()).inject(&mut m, pid);
+        m.run();
+        // child ran (after manual resume) and was deceived
+        assert!(!m.system().fs.exists(r"C:\pwned.txt"));
+        assert!(m.trace().events().iter().any(|e| matches!(
+            &e.kind,
+            tracer::EventKind::ProcessTerminate { image, .. } if image == "payload.exe"
+        )));
+    }
+}

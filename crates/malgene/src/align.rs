@@ -1,0 +1,289 @@
+//! Trace sequence alignment.
+//!
+//! MalGene aligns the system-event sequences of the same sample executed
+//! in two environments (bioinformatics-style sequence alignment over
+//! deterministic event sub-sequences). We implement exact
+//! longest-common-subsequence alignment for trace pairs of moderate size
+//! and a windowed greedy aligner as the large-trace fallback, both over
+//! normalized event keys so run-specific noise (pids, timestamps, byte
+//! counts, numeric name decorations) does not break matches.
+
+use tracer::{Event, EventKind, Trace};
+
+/// Budget above which `|a| * |b|` LCS cells switch to the greedy aligner.
+const LCS_CELL_BUDGET: usize = 4_000_000;
+
+/// How far the greedy aligner scans ahead to re-synchronize after a
+/// mismatch.
+const RESYNC_WINDOW: usize = 64;
+
+/// A normalized, comparable identity for one event.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct EventKey {
+    /// The event class tag.
+    pub tag: &'static str,
+    /// The normalized object.
+    pub object: String,
+}
+
+/// Folds digit runs and lower-cases, so `FB_473.tmp.exe` and
+/// `FB_5DB.tmp.exe` compare equal across runs.
+fn normalize(s: &str) -> String {
+    let lower = s.to_ascii_lowercase();
+    let mut out = String::with_capacity(lower.len());
+    let mut in_run = false;
+    for c in lower.chars() {
+        if c.is_ascii_digit() {
+            if !in_run {
+                out.push('#');
+                in_run = true;
+            }
+        } else {
+            in_run = false;
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// The alignment key of an event.
+pub fn key(e: &Event) -> EventKey {
+    let object = match &e.kind {
+        EventKind::ProcessCreate { image, .. } => normalize(image),
+        EventKind::ProcessTerminate { image, .. } => normalize(image),
+        EventKind::ProcessInject { target_image, .. } => normalize(target_image),
+        EventKind::ThreadCreate { .. } | EventKind::ThreadTerminate { .. } => String::new(),
+        EventKind::FileCreate { path }
+        | EventKind::FileWrite { path, .. }
+        | EventKind::FileRead { path }
+        | EventKind::FileDelete { path } => normalize(path),
+        EventKind::FileRename { to, .. } => normalize(to),
+        EventKind::Registry { path, .. } => normalize(path),
+        EventKind::ImageLoad { image, .. } | EventKind::ImageUnload { image, .. } => {
+            normalize(image)
+        }
+        EventKind::DnsQuery { domain, .. } => normalize(domain),
+        EventKind::HttpRequest { host, .. } => normalize(host),
+        EventKind::NetConnect { addr, .. } => normalize(addr),
+        EventKind::MutexCreate { name } => normalize(name),
+        EventKind::ModuleQuery { name } => normalize(name),
+        EventKind::WindowQuery { class, title } => normalize(&format!("{class}|{title}")),
+        EventKind::DebugQuery { api } => normalize(api),
+        EventKind::InfoQuery { what } => normalize(what),
+        EventKind::Alarm { message } => normalize(message),
+    };
+    EventKey { tag: e.kind.tag(), object }
+}
+
+/// The result of aligning trace `a` against trace `b`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Alignment {
+    /// Matched index pairs `(i_a, i_b)`, strictly increasing in both.
+    pub matched: Vec<(usize, usize)>,
+    /// Lengths of the two traces.
+    pub lens: (usize, usize),
+}
+
+impl Alignment {
+    /// Fraction of `b`'s events that found a partner (1.0 = `b` ⊆ `a`
+    /// as a subsequence).
+    pub fn coverage_of_b(&self) -> f64 {
+        if self.lens.1 == 0 {
+            return 1.0;
+        }
+        self.matched.len() as f64 / self.lens.1 as f64
+    }
+
+    /// The *deviation point*: the first index in `b` that has no partner
+    /// in `a` and after which `b` keeps going alone, together with the
+    /// corresponding resume position in `a` (one past its last match
+    /// before the gap). Returns `None` when `b` is fully covered.
+    ///
+    /// In MalGene terms, `a` is the evading execution and `b` the
+    /// detonating one: the deviation is where the malicious branch begins.
+    pub fn deviation(&self) -> Option<(usize, usize)> {
+        let mut expect_b = 0usize;
+        let mut last_a = 0usize;
+        for &(ia, ib) in &self.matched {
+            if ib > expect_b {
+                // gap in b before this match: b ran events a never ran
+                return Some((last_a, expect_b));
+            }
+            expect_b = ib + 1;
+            last_a = ia + 1;
+        }
+        if expect_b < self.lens.1 {
+            return Some((last_a, expect_b));
+        }
+        None
+    }
+}
+
+/// Aligns two traces, choosing LCS or the greedy fallback by size.
+pub fn align(a: &Trace, b: &Trace) -> Alignment {
+    let ka: Vec<EventKey> = a.events().iter().map(key).collect();
+    let kb: Vec<EventKey> = b.events().iter().map(key).collect();
+    let matched = if ka.len().saturating_mul(kb.len()) <= LCS_CELL_BUDGET {
+        lcs(&ka, &kb)
+    } else {
+        greedy(&ka, &kb)
+    };
+    Alignment { matched, lens: (ka.len(), kb.len()) }
+}
+
+/// Exact LCS backtrack over the key sequences.
+fn lcs(a: &[EventKey], b: &[EventKey]) -> Vec<(usize, usize)> {
+    let (n, m) = (a.len(), b.len());
+    let mut dp = vec![0u32; (n + 1) * (m + 1)];
+    let idx = |i: usize, j: usize| i * (m + 1) + j;
+    for i in (0..n).rev() {
+        for j in (0..m).rev() {
+            dp[idx(i, j)] = if a[i] == b[j] {
+                dp[idx(i + 1, j + 1)] + 1
+            } else {
+                dp[idx(i + 1, j)].max(dp[idx(i, j + 1)])
+            };
+        }
+    }
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < n && j < m {
+        if a[i] == b[j] {
+            out.push((i, j));
+            i += 1;
+            j += 1;
+        } else if dp[idx(i + 1, j)] >= dp[idx(i, j + 1)] {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    out
+}
+
+/// Greedy two-pointer alignment with bounded look-ahead re-sync.
+fn greedy(a: &[EventKey], b: &[EventKey]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        if a[i] == b[j] {
+            out.push((i, j));
+            i += 1;
+            j += 1;
+            continue;
+        }
+        // try to re-sync: find the nearest future partner for either side
+        let find_in_b = b[j..]
+            .iter()
+            .take(RESYNC_WINDOW)
+            .position(|k| *k == a[i])
+            .map(|d| j + d);
+        let find_in_a = a[i..]
+            .iter()
+            .take(RESYNC_WINDOW)
+            .position(|k| *k == b[j])
+            .map(|d| i + d);
+        match (find_in_a, find_in_b) {
+            (Some(na), Some(nb)) => {
+                if na - i <= nb - j {
+                    i = na;
+                } else {
+                    j = nb;
+                }
+            }
+            (Some(na), None) => i = na,
+            (None, Some(nb)) => j = nb,
+            (None, None) => {
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracer::Event;
+
+    fn trace_of(kinds: Vec<EventKind>) -> Trace {
+        let mut t = Trace::new("m.exe");
+        for (i, k) in kinds.into_iter().enumerate() {
+            t.record(Event::at(i as u64, 1, k));
+        }
+        t
+    }
+
+    fn reg_open(path: &str) -> EventKind {
+        EventKind::Registry { op: tracer::RegOp::OpenKey, path: path.into() }
+    }
+    fn fwrite(path: &str) -> EventKind {
+        EventKind::FileWrite { path: path.into(), bytes: 1 }
+    }
+
+    #[test]
+    fn identical_traces_align_fully() {
+        let t = trace_of(vec![reg_open(r"HKLM\A"), fwrite(r"C:\x"), fwrite(r"C:\y")]);
+        let al = align(&t, &t.clone());
+        assert_eq!(al.matched.len(), 3);
+        assert_eq!(al.deviation(), None);
+        assert_eq!(al.coverage_of_b(), 1.0);
+    }
+
+    #[test]
+    fn deviation_found_after_shared_prefix() {
+        // evading: probe, then exit; detonating: probe, then payload
+        let evading = trace_of(vec![reg_open(r"HKLM\Probe")]);
+        let detonating =
+            trace_of(vec![reg_open(r"HKLM\Probe"), fwrite(r"C:\evil1"), fwrite(r"C:\evil2")]);
+        let al = align(&evading, &detonating);
+        assert_eq!(al.deviation(), Some((1, 1)));
+    }
+
+    #[test]
+    fn noise_between_shared_events_does_not_hide_deviation() {
+        let evading = trace_of(vec![
+            reg_open(r"HKLM\Probe"),
+            fwrite(r"C:\log_123.tmp"), // run-specific noise, folded by normalize
+        ]);
+        let detonating = trace_of(vec![
+            reg_open(r"HKLM\Probe"),
+            fwrite(r"C:\log_999.tmp"),
+            fwrite(r"C:\evil"),
+        ]);
+        let al = align(&evading, &detonating);
+        assert_eq!(al.matched.len(), 2, "noise lines up thanks to normalization");
+        assert_eq!(al.deviation(), Some((2, 2)));
+    }
+
+    #[test]
+    fn keys_fold_numeric_decorations() {
+        let a = key(&Event::at(0, 1, fwrite(r"C:\FB_473.tmp.exe")));
+        let b = key(&Event::at(5, 9, fwrite(r"C:\FB_591.tmp.exe")));
+        assert_eq!(a, b);
+        let c = key(&Event::at(0, 1, fwrite(r"C:\other.exe")));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn greedy_and_lcs_agree_on_clean_prefix_cases() {
+        let evading = trace_of(vec![reg_open(r"HKLM\P1"), reg_open(r"HKLM\P2")]);
+        let detonating = trace_of(vec![
+            reg_open(r"HKLM\P1"),
+            reg_open(r"HKLM\P2"),
+            fwrite(r"C:\payload"),
+        ]);
+        let ka: Vec<EventKey> = evading.events().iter().map(key).collect();
+        let kb: Vec<EventKey> = detonating.events().iter().map(key).collect();
+        assert_eq!(lcs(&ka, &kb), greedy(&ka, &kb));
+    }
+
+    #[test]
+    fn empty_b_is_fully_covered() {
+        let a = trace_of(vec![fwrite(r"C:\x")]);
+        let b = Trace::new("m.exe");
+        let al = align(&a, &b);
+        assert_eq!(al.deviation(), None);
+    }
+}

@@ -1,0 +1,251 @@
+//! Evasion-signature extraction from aligned trace pairs.
+//!
+//! "MalGene automatically extracts evasion signatures by comparing the
+//! traces from two different environments where malware evades one of the
+//! environments while exposing malicious activities in another"
+//! (Scarecrow paper, Section II-C). The signature is the *first system
+//! resource that causes the deviation* — which, as the paper notes, also
+//! means additional probes beyond the first are not identified when a
+//! sample stacks several techniques.
+
+use serde::{Deserialize, Serialize};
+use tracer::{EventKind, Trace};
+
+use crate::align::{align, Alignment};
+
+/// The environment resource a sample keyed its evasion decision on.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SignatureKind {
+    /// A registry key was probed (open).
+    RegistryKey(String),
+    /// A registry value was probed (`key`, `value name`).
+    RegistryValue {
+        /// Key path.
+        key: String,
+        /// Value name.
+        name: String,
+    },
+    /// A file or folder was probed.
+    File(String),
+    /// A loaded-module probe.
+    Module(String),
+    /// A GUI-window probe (`class|title` form).
+    Window(String),
+    /// A debugger-presence probe (API name).
+    Debugger(String),
+    /// A DNS probe.
+    Dns(String),
+    /// A system-configuration probe (API label).
+    SystemInfo(String),
+}
+
+impl std::fmt::Display for SignatureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SignatureKind::RegistryKey(k) => write!(f, "registry key {k:?}"),
+            SignatureKind::RegistryValue { key, name } => {
+                write!(f, "registry value {key:?}\\{name:?}")
+            }
+            SignatureKind::File(p) => write!(f, "file {p:?}"),
+            SignatureKind::Module(m) => write!(f, "module {m:?}"),
+            SignatureKind::Window(w) => write!(f, "window {w:?}"),
+            SignatureKind::Debugger(api) => write!(f, "debugger probe via {api}"),
+            SignatureKind::Dns(d) => write!(f, "dns lookup of {d:?}"),
+            SignatureKind::SystemInfo(w) => write!(f, "system configuration via {w}"),
+        }
+    }
+}
+
+/// One extracted evasion signature.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EvasionSignature {
+    /// The probed resource.
+    pub kind: SignatureKind,
+    /// Index of the probe event in the evading trace.
+    pub probe_index: usize,
+    /// Index in the detonating trace where behaviour deviates.
+    pub deviation_index: usize,
+}
+
+/// Interprets a trace event as an environment probe, if it is one.
+fn as_probe(kind: &EventKind) -> Option<SignatureKind> {
+    match kind {
+        EventKind::Registry { op, path } => match op {
+            tracer::RegOp::OpenKey => Some(SignatureKind::RegistryKey(path.clone())),
+            tracer::RegOp::QueryValue => {
+                let (key, name) = path.rsplit_once('\\')?;
+                Some(SignatureKind::RegistryValue { key: key.to_owned(), name: name.to_owned() })
+            }
+            _ => None,
+        },
+        EventKind::FileRead { path } => Some(SignatureKind::File(path.clone())),
+        EventKind::ModuleQuery { name } => Some(SignatureKind::Module(name.clone())),
+        EventKind::WindowQuery { class, title } => {
+            Some(SignatureKind::Window(format!("{class}|{title}")))
+        }
+        EventKind::DebugQuery { api } => Some(SignatureKind::Debugger(api.clone())),
+        EventKind::DnsQuery { domain, .. } => Some(SignatureKind::Dns(domain.clone())),
+        EventKind::HttpRequest { host, .. } => Some(SignatureKind::Dns(host.clone())),
+        EventKind::InfoQuery { what } => Some(SignatureKind::SystemInfo(what.clone())),
+        _ => None,
+    }
+}
+
+/// Extracts the evasion signature from a pair of runs of the same sample:
+/// `evading` (the environment the sample refused to act in) and
+/// `detonating` (where it exposed malicious activity).
+///
+/// Returns `None` when the traces never deviate, or no environment probe
+/// precedes the deviation.
+pub fn extract_signature(evading: &Trace, detonating: &Trace) -> Option<EvasionSignature> {
+    let alignment: Alignment = align(evading, detonating);
+    let (resume_a, deviation_b) = alignment.deviation()?;
+    // the deciding probe is the last environment query the evading run
+    // performed before (or at) the point where the detonating run left it
+    let events = evading.events();
+    let upper = resume_a.min(events.len());
+    for i in (0..upper).rev() {
+        if let Some(kind) = as_probe(&events[i].kind) {
+            return Some(EvasionSignature {
+                kind,
+                probe_index: i,
+                deviation_index: deviation_b,
+            });
+        }
+    }
+    None
+}
+
+/// Extracts signatures from many paired runs and deduplicates them —
+/// the batch pipeline the paper proposes for continuously feeding
+/// Scarecrow.
+pub fn extract_batch<'a, I>(pairs: I) -> Vec<EvasionSignature>
+where
+    I: IntoIterator<Item = (&'a Trace, &'a Trace)>,
+{
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for (evading, detonating) in pairs {
+        if let Some(sig) = extract_signature(evading, detonating) {
+            if seen.insert(sig.kind.clone()) {
+                out.push(sig);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracer::{Event, RegOp};
+
+    fn trace_of(kinds: Vec<EventKind>) -> Trace {
+        let mut t = Trace::new("m.exe");
+        for (i, k) in kinds.into_iter().enumerate() {
+            t.record(Event::at(i as u64, 1, k));
+        }
+        t
+    }
+
+    fn open(path: &str) -> EventKind {
+        EventKind::Registry { op: RegOp::OpenKey, path: path.into() }
+    }
+    fn payload(path: &str) -> EventKind {
+        EventKind::FileWrite { path: path.into(), bytes: 64 }
+    }
+
+    #[test]
+    fn registry_probe_signature() {
+        let evading = trace_of(vec![open(r"HKLM\SOFTWARE\NewSandboxVendor")]);
+        let detonating = trace_of(vec![
+            open(r"HKLM\SOFTWARE\NewSandboxVendor"),
+            payload(r"C:\evil"),
+        ]);
+        let sig = extract_signature(&evading, &detonating).unwrap();
+        assert_eq!(
+            sig.kind,
+            SignatureKind::RegistryKey(r"HKLM\SOFTWARE\NewSandboxVendor".into())
+        );
+    }
+
+    #[test]
+    fn latest_probe_before_deviation_wins() {
+        // the sample runs two probes; only the second one decided
+        let evading = trace_of(vec![
+            open(r"HKLM\Probe1"),
+            EventKind::FileRead { path: r"C:\drivers\newtool.sys".into() },
+        ]);
+        let detonating = trace_of(vec![
+            open(r"HKLM\Probe1"),
+            EventKind::FileRead { path: r"C:\drivers\newtool.sys".into() },
+            payload(r"C:\evil"),
+        ]);
+        let sig = extract_signature(&evading, &detonating).unwrap();
+        assert_eq!(sig.kind, SignatureKind::File(r"C:\drivers\newtool.sys".into()));
+    }
+
+    #[test]
+    fn debugger_and_module_probes_are_recognized() {
+        let evading = trace_of(vec![EventKind::ModuleQuery { name: "NewMonitor.dll".into() }]);
+        let detonating = trace_of(vec![
+            EventKind::ModuleQuery { name: "NewMonitor.dll".into() },
+            payload(r"C:\evil"),
+        ]);
+        let sig = extract_signature(&evading, &detonating).unwrap();
+        assert_eq!(sig.kind, SignatureKind::Module("NewMonitor.dll".into()));
+
+        let evading = trace_of(vec![EventKind::DebugQuery { api: "IsDebuggerPresent".into() }]);
+        let detonating = trace_of(vec![
+            EventKind::DebugQuery { api: "IsDebuggerPresent".into() },
+            payload(r"C:\evil"),
+        ]);
+        let sig = extract_signature(&evading, &detonating).unwrap();
+        assert_eq!(sig.kind, SignatureKind::Debugger("IsDebuggerPresent".into()));
+    }
+
+    #[test]
+    fn registry_value_signature_splits_key_and_name() {
+        let evading = trace_of(vec![EventKind::Registry {
+            op: RegOp::QueryValue,
+            path: r"HKLM\HARDWARE\Description\System\SystemBiosVersion".into(),
+        }]);
+        let detonating = trace_of(vec![
+            EventKind::Registry {
+                op: RegOp::QueryValue,
+                path: r"HKLM\HARDWARE\Description\System\SystemBiosVersion".into(),
+            },
+            payload(r"C:\evil"),
+        ]);
+        let sig = extract_signature(&evading, &detonating).unwrap();
+        assert_eq!(
+            sig.kind,
+            SignatureKind::RegistryValue {
+                key: r"HKLM\HARDWARE\Description\System".into(),
+                name: "SystemBiosVersion".into()
+            }
+        );
+    }
+
+    #[test]
+    fn no_deviation_means_no_signature() {
+        let t = trace_of(vec![open(r"HKLM\X"), payload(r"C:\same")]);
+        assert!(extract_signature(&t, &t.clone()).is_none());
+    }
+
+    #[test]
+    fn no_probe_before_deviation_means_none() {
+        let evading = trace_of(vec![]);
+        let detonating = trace_of(vec![payload(r"C:\evil")]);
+        assert!(extract_signature(&evading, &detonating).is_none());
+    }
+
+    #[test]
+    fn batch_deduplicates_by_resource() {
+        let evading = trace_of(vec![open(r"HKLM\Same")]);
+        let detonating = trace_of(vec![open(r"HKLM\Same"), payload(r"C:\evil")]);
+        let pairs = vec![(&evading, &detonating), (&evading, &detonating)];
+        let sigs = extract_batch(pairs);
+        assert_eq!(sigs.len(), 1);
+    }
+}

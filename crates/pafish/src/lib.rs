@@ -1,0 +1,439 @@
+//! A reimplementation of **Pafish** (Paranoid Fish) against the `winsim`
+//! substrate, for the Table II experiment.
+//!
+//! Pafish "employs several fingerprinting techniques to detect analysis
+//! environments in the same way as malware does", organized in the eleven
+//! categories the paper's Table II reports. This crate reproduces the
+//! category structure and per-category feature counts of that table
+//! (1 + 4 + 12 + 2 + 1 + 2 + 17 + 8 + 3 + 3 + 3 = 56 checks; the paper's
+//! prose says "54 pieces of evidence" while its own table sums to 56 — we
+//! follow the table).
+//!
+//! Checks run in a fixed order; the two RDTSC probes are evaluated first
+//! within the CPU category, which matters on machines with timing noise.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize};
+use winsim::{Api, ProcessCtx};
+
+/// The eleven Table II categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PafishCategory {
+    /// Debugger presence (1 check).
+    Debuggers,
+    /// CPU information: RDTSC timing and CPUID leaves (4 checks).
+    Cpu,
+    /// Generic sandbox traits (12 checks).
+    GenericSandbox,
+    /// Inline-hook detection (2 checks).
+    Hook,
+    /// Sandboxie (1 check).
+    Sandboxie,
+    /// Wine (2 checks).
+    Wine,
+    /// VirtualBox (17 checks).
+    VirtualBox,
+    /// VMware (8 checks).
+    VMware,
+    /// QEMU (3 checks).
+    Qemu,
+    /// Bochs (3 checks).
+    Bochs,
+    /// Cuckoo (3 checks).
+    Cuckoo,
+}
+
+impl PafishCategory {
+    /// All categories in report order.
+    pub fn all() -> [PafishCategory; 11] {
+        use PafishCategory::*;
+        [Debuggers, Cpu, GenericSandbox, Hook, Sandboxie, Wine, VirtualBox, VMware, Qemu,
+         Bochs, Cuckoo]
+    }
+
+    /// Display label matching Table II's row names.
+    pub fn label(self) -> &'static str {
+        match self {
+            PafishCategory::Debuggers => "Debuggers",
+            PafishCategory::Cpu => "CPU information",
+            PafishCategory::GenericSandbox => "Generic sandbox",
+            PafishCategory::Hook => "Hook",
+            PafishCategory::Sandboxie => "Sandboxie",
+            PafishCategory::Wine => "Wine",
+            PafishCategory::VirtualBox => "VirtualBox",
+            PafishCategory::VMware => "VMware",
+            PafishCategory::Qemu => "Qemu detection",
+            PafishCategory::Bochs => "Bochs",
+            PafishCategory::Cuckoo => "Cuckoo",
+        }
+    }
+}
+
+type Probe = Box<dyn Fn(&mut ProcessCtx<'_>) -> bool + Send + Sync>;
+
+/// One Pafish evidence check.
+pub struct Check {
+    /// Check identifier (pafish-style snake_case).
+    pub name: &'static str,
+    /// Category the check belongs to.
+    pub category: PafishCategory,
+    probe: Probe,
+}
+
+impl std::fmt::Debug for Check {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Check")
+            .field("name", &self.name)
+            .field("category", &self.category)
+            .finish()
+    }
+}
+
+impl Check {
+    fn new(
+        name: &'static str,
+        category: PafishCategory,
+        probe: impl Fn(&mut ProcessCtx<'_>) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        Check { name, category, probe: Box::new(probe) }
+    }
+
+    /// Runs the check; `true` means the evidence was *triggered*.
+    pub fn run(&self, ctx: &mut ProcessCtx<'_>) -> bool {
+        (self.probe)(ctx)
+    }
+}
+
+fn reg_value_contains(ctx: &mut ProcessCtx<'_>, key: &str, name: &str, needle: &str) -> bool {
+    ctx.reg_value(key, name)
+        .and_then(|v| v.as_str().map(str::to_owned))
+        .is_some_and(|s| s.to_ascii_lowercase().contains(&needle.to_ascii_lowercase()))
+}
+
+/// Builds all 56 checks in canonical execution order.
+pub fn all_checks() -> Vec<Check> {
+    use PafishCategory::*;
+    let mut checks = Vec::with_capacity(56);
+
+    // ---------- Debuggers (1) ----------
+    checks.push(Check::new("debug_isdebuggerpresent", Debuggers, |ctx| {
+        ctx.is_debugger_present()
+    }));
+
+    // ---------- CPU information (4) — rdtsc probes first ----------
+    checks.push(Check::new("cpu_rdtsc_diff", Cpu, |ctx| ctx.rdtsc_delta_plain() > 750));
+    checks.push(Check::new("cpu_rdtsc_diff_vmexit", Cpu, |ctx| ctx.rdtsc_delta_cpuid() > 750));
+    checks.push(Check::new("cpu_cpuid_hv_bit", Cpu, |ctx| ctx.cpuid(0x1).0 & (1 << 31) != 0));
+    checks.push(Check::new("cpu_known_vm_vendors", Cpu, |ctx| {
+        let vendor = ctx.cpuid(0x4000_0000).1;
+        ["VBoxVBoxVBox", "VMwareVMware", "KVMKVMKVM", "Microsoft Hv", "prl hyperv"]
+            .iter()
+            .any(|v| vendor == *v)
+    }));
+
+    // ---------- Generic sandbox (12) ----------
+    checks.push(Check::new("gensb_mouse_activity", GenericSandbox, |ctx| {
+        let before = ctx.cursor_pos();
+        ctx.sleep(2_000);
+        ctx.cursor_pos() == before
+    }));
+    checks.push(Check::new("gensb_one_cpu_peb", GenericSandbox, |ctx| {
+        ctx.peb().number_of_processors < 2
+    }));
+    checks.push(Check::new("gensb_one_cpu_api", GenericSandbox, |ctx| ctx.cpu_count() < 2));
+    checks.push(Check::new("gensb_less_than_1gb_ram", GenericSandbox, |ctx| {
+        ctx.memory_mb() < 1_024
+    }));
+    checks.push(Check::new("gensb_drive_smaller_60gb", GenericSandbox, |ctx| {
+        ctx.disk_total_bytes('C').is_some_and(|b| b < (60 << 30))
+    }));
+    checks.push(Check::new("gensb_uptime_under_12min", GenericSandbox, |ctx| {
+        ctx.tick_count() < 12 * 60 * 1_000
+    }));
+    checks.push(Check::new("gensb_parent_not_explorer", GenericSandbox, |ctx| {
+        !ctx.parent_image().eq_ignore_ascii_case("explorer.exe")
+    }));
+    checks.push(Check::new("gensb_filename_is_hash", GenericSandbox, |ctx| {
+        let path = ctx.own_path();
+        let file = path
+            .rsplit('\\')
+            .next()
+            .unwrap_or("")
+            .trim_end_matches(".exe")
+            .to_ascii_lowercase();
+        file.len() >= 32 && file.chars().all(|c| c.is_ascii_hexdigit())
+    }));
+    checks.push(Check::new("gensb_username_sandbox", GenericSandbox, |ctx| {
+        let user = ctx.user_name().to_ascii_lowercase();
+        ["sandbox", "malware", "virus", "sample", "currentuser", "honey"]
+            .iter()
+            .any(|s| user.contains(s))
+    }));
+    checks.push(Check::new("gensb_path_sandbox", GenericSandbox, |ctx| {
+        let path = ctx.own_path().to_ascii_lowercase();
+        [r"\sample", r"\analysis", r"\cuckoo", r"\virus"].iter().any(|s| path.contains(s))
+    }));
+    checks.push(Check::new("gensb_nx_domain_resolves", GenericSandbox, |ctx| {
+        ctx.dns_resolve("pafish-canary-nxdomain-check.test").is_some()
+    }));
+    checks.push(Check::new("gensb_is_native_vhd_boot", GenericSandbox, |ctx| {
+        ctx.is_native_vhd_boot() == Some(true)
+    }));
+
+    // ---------- Hook (2) ----------
+    checks.push(Check::new("hooks_inline_common_apis", Hook, |ctx| {
+        [Api::IsDebuggerPresent, Api::CreateProcess, Api::RegOpenKeyEx, Api::DeleteFile]
+            .iter()
+            .any(|api| {
+                let p = ctx.read_api_prologue(*api);
+                !(p[0] == 0x8b && p[1] == 0xff)
+            })
+    }));
+    checks.push(Check::new("hooks_shellexecuteexw", Hook, |ctx| {
+        let p = ctx.read_api_prologue(Api::ShellExecuteEx);
+        !(p[0] == 0x8b && p[1] == 0xff)
+    }));
+
+    // ---------- Sandboxie (1) ----------
+    checks.push(Check::new("sandboxie_sbiedll", Sandboxie, |ctx| ctx.module_loaded("SbieDll.dll")));
+
+    // ---------- Wine (2) ----------
+    checks.push(Check::new("wine_get_unix_file_name", Wine, |ctx| {
+        ctx.proc_address_exists("kernel32.dll", "wine_get_unix_file_name")
+    }));
+    checks.push(Check::new("wine_reg_key", Wine, |ctx| ctx.reg_key_exists(r"HKLM\SOFTWARE\Wine")));
+
+    // ---------- VirtualBox (17) ----------
+    checks.push(Check::new("vbox_guest_additions_reg", VirtualBox, |ctx| {
+        ctx.reg_key_exists(r"HKLM\SOFTWARE\Oracle\VirtualBox Guest Additions")
+    }));
+    checks.push(Check::new("vbox_acpi_dsdt", VirtualBox, |ctx| {
+        ctx.reg_key_exists(r"HKLM\HARDWARE\ACPI\DSDT\VBOX__")
+    }));
+    checks.push(Check::new("vbox_system_bios", VirtualBox, |ctx| {
+        reg_value_contains(ctx, r"HKLM\HARDWARE\Description\System", "SystemBiosVersion", "VBOX")
+    }));
+    checks.push(Check::new("vbox_video_bios", VirtualBox, |ctx| {
+        reg_value_contains(
+            ctx,
+            r"HKLM\HARDWARE\Description\System",
+            "VideoBiosVersion",
+            "VIRTUALBOX",
+        )
+    }));
+    for (name, file) in [
+        ("vbox_file_vboxmouse", r"C:\Windows\System32\drivers\VBoxMouse.sys"),
+        ("vbox_file_vboxguest", r"C:\Windows\System32\drivers\VBoxGuest.sys"),
+        ("vbox_file_vboxsf", r"C:\Windows\System32\drivers\VBoxSF.sys"),
+        ("vbox_file_vboxvideo", r"C:\Windows\System32\drivers\VBoxVideo.sys"),
+    ] {
+        checks.push(Check::new(name, VirtualBox, move |ctx| ctx.file_exists(file)));
+    }
+    for (name, key) in [
+        ("vbox_svc_vboxguest", r"HKLM\SYSTEM\ControlSet001\Services\VBoxGuest"),
+        ("vbox_svc_vboxmouse", r"HKLM\SYSTEM\ControlSet001\Services\VBoxMouse"),
+        ("vbox_svc_vboxservice", r"HKLM\SYSTEM\ControlSet001\Services\VBoxService"),
+        ("vbox_svc_vboxsf", r"HKLM\SYSTEM\ControlSet001\Services\VBoxSF"),
+    ] {
+        checks.push(Check::new(name, VirtualBox, move |ctx| ctx.reg_key_exists(key)));
+    }
+    checks.push(Check::new("vbox_proc_vboxservice", VirtualBox, |ctx| {
+        ctx.process_running("VBoxService.exe")
+    }));
+    checks.push(Check::new("vbox_proc_vboxtray", VirtualBox, |ctx| {
+        ctx.process_running("VBoxTray.exe")
+    }));
+    checks.push(Check::new("vbox_mac_prefix", VirtualBox, |ctx| {
+        ctx.mac_address().starts_with("08:00:27")
+    }));
+    checks.push(Check::new("vbox_device_vboxguest", VirtualBox, |ctx| {
+        ctx.open_device("VBoxGuest")
+    }));
+    checks.push(Check::new("vbox_traytool_window", VirtualBox, |ctx| {
+        ctx.find_window_class("VBoxTrayToolWndClass")
+    }));
+
+    // ---------- VMware (8) ----------
+    checks.push(Check::new("vmware_tools_reg", VMware, |ctx| {
+        ctx.reg_key_exists(r"HKLM\SOFTWARE\VMware, Inc.\VMware Tools")
+    }));
+    checks.push(Check::new("vmware_file_vmmouse", VMware, |ctx| {
+        ctx.file_exists(r"C:\Windows\System32\drivers\vmmouse.sys")
+    }));
+    checks.push(Check::new("vmware_file_vmhgfs", VMware, |ctx| {
+        ctx.file_exists(r"C:\Windows\System32\drivers\vmhgfs.sys")
+    }));
+    checks.push(Check::new("vmware_device_vmci", VMware, |ctx| ctx.open_device("vmci")));
+    checks.push(Check::new("vmware_device_hgfs", VMware, |ctx| ctx.open_device("HGFS")));
+    checks.push(Check::new("vmware_mac_prefix", VMware, |ctx| {
+        let mac = ctx.mac_address();
+        ["00:05:69", "00:0c:29", "00:50:56"].iter().any(|p| mac.starts_with(p))
+    }));
+    checks.push(Check::new("vmware_svc_vmhgfs", VMware, |ctx| {
+        ctx.reg_key_exists(r"HKLM\SYSTEM\ControlSet001\Services\vmhgfs")
+    }));
+    checks.push(Check::new("vmware_disk_enum", VMware, |ctx| {
+        reg_value_contains(
+            ctx,
+            r"HKLM\SYSTEM\CurrentControlSet\Services\Disk\Enum",
+            "0",
+            "vmware",
+        )
+    }));
+
+    // ---------- Qemu (3) ----------
+    checks.push(Check::new("qemu_scsi_identifier", Qemu, |ctx| {
+        reg_value_contains(
+            ctx,
+            r"HKLM\HARDWARE\DEVICEMAP\Scsi\Scsi Port 0\Scsi Bus 0\Target Id 0\Logical Unit Id 0",
+            "Identifier",
+            "QEMU",
+        )
+    }));
+    checks.push(Check::new("qemu_system_bios", Qemu, |ctx| {
+        reg_value_contains(ctx, r"HKLM\HARDWARE\Description\System", "SystemBiosVersion", "QEMU")
+    }));
+    checks.push(Check::new("qemu_cpuid_kvm", Qemu, |ctx| ctx.cpuid(0x4000_0000).1 == "KVMKVMKVM"));
+
+    // ---------- Bochs (3) ----------
+    checks.push(Check::new("bochs_bios_date", Bochs, |ctx| {
+        ctx.reg_value(r"HKLM\HARDWARE\Description\System", "SystemBiosDate")
+            .and_then(|v| v.as_str().map(str::to_owned))
+            .is_some_and(|d| d == "01/01/2007")
+    }));
+    checks.push(Check::new("bochs_system_bios", Bochs, |ctx| {
+        reg_value_contains(ctx, r"HKLM\HARDWARE\Description\System", "SystemBiosVersion", "BOCHS")
+    }));
+    checks.push(Check::new("bochs_cpuid_brand", Bochs, |ctx| ctx.cpuid(0x0).1 == "BOCHS"));
+
+    // ---------- Cuckoo (3) ----------
+    checks.push(Check::new("cuckoo_pipe", Cuckoo, |ctx| ctx.open_device(r"pipe\cuckoo")));
+    checks.push(Check::new("cuckoo_svc_cuckoomon", Cuckoo, |ctx| {
+        ctx.reg_key_exists(r"HKLM\SYSTEM\CurrentControlSet\Services\CuckooMon")
+    }));
+    checks.push(Check::new("cuckoo_agent_file", Cuckoo, |ctx| {
+        ctx.file_exists(r"C:\cuckoo-agent.py")
+    }));
+
+    checks
+}
+
+/// Per-run report: triggered check names plus per-category tallies.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PafishReport {
+    /// Names of the triggered checks, in execution order.
+    pub triggered: Vec<String>,
+    per_category: Vec<(PafishCategory, usize, usize)>,
+}
+
+impl PafishReport {
+    /// Checks triggered in a category.
+    pub fn count(&self, category: PafishCategory) -> usize {
+        self.per_category
+            .iter()
+            .find(|(c, _, _)| *c == category)
+            .map(|(_, hit, _)| *hit)
+            .unwrap_or(0)
+    }
+
+    /// `(category, triggered, total)` rows in Table II order.
+    pub fn rows(&self) -> &[(PafishCategory, usize, usize)] {
+        &self.per_category
+    }
+
+    /// Total triggered checks.
+    pub fn total_triggered(&self) -> usize {
+        self.triggered.len()
+    }
+}
+
+/// Runs the full Pafish suite in the given process context.
+pub fn run_pafish(ctx: &mut ProcessCtx<'_>) -> PafishReport {
+    let checks = all_checks();
+    let mut triggered = Vec::new();
+    let mut per_category: Vec<(PafishCategory, usize, usize)> =
+        PafishCategory::all().iter().map(|c| (*c, 0usize, 0usize)).collect();
+    for check in &checks {
+        let hit = check.run(ctx);
+        let row = per_category
+            .iter_mut()
+            .find(|(c, _, _)| *c == check.category)
+            .expect("category present");
+        row.2 += 1;
+        if hit {
+            row.1 += 1;
+            triggered.push(check.name.to_owned());
+        }
+    }
+    PafishReport { triggered, per_category }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use winsim::env::{bare_metal_sandbox, end_user_machine, vm_sandbox};
+    use winsim::{Machine, ProcessCtx};
+
+    fn run_on(mut m: Machine) -> PafishReport {
+        let explorer = m.explorer_pid();
+        let pid = m.spawn("pafish.exe", explorer, false);
+        let mut ctx = ProcessCtx::new(&mut m, pid);
+        run_pafish(&mut ctx)
+    }
+
+    #[test]
+    fn category_totals_match_table2_header() {
+        let checks = all_checks();
+        assert_eq!(checks.len(), 56);
+        let count = |cat| checks.iter().filter(|c| c.category == cat).count();
+        assert_eq!(count(PafishCategory::Debuggers), 1);
+        assert_eq!(count(PafishCategory::Cpu), 4);
+        assert_eq!(count(PafishCategory::GenericSandbox), 12);
+        assert_eq!(count(PafishCategory::Hook), 2);
+        assert_eq!(count(PafishCategory::Sandboxie), 1);
+        assert_eq!(count(PafishCategory::Wine), 2);
+        assert_eq!(count(PafishCategory::VirtualBox), 17);
+        assert_eq!(count(PafishCategory::VMware), 8);
+        assert_eq!(count(PafishCategory::Qemu), 3);
+        assert_eq!(count(PafishCategory::Bochs), 3);
+        assert_eq!(count(PafishCategory::Cuckoo), 3);
+    }
+
+    #[test]
+    fn check_names_are_unique() {
+        let checks = all_checks();
+        let names: std::collections::BTreeSet<_> = checks.iter().map(|c| c.name).collect();
+        assert_eq!(names.len(), checks.len());
+    }
+
+    #[test]
+    fn bare_metal_sandbox_triggers_only_mouse() {
+        let report = run_on(bare_metal_sandbox());
+        assert_eq!(report.triggered, vec!["gensb_mouse_activity".to_owned()]);
+    }
+
+    #[test]
+    fn vm_sandbox_matches_table2_without_scarecrow() {
+        let report = run_on(vm_sandbox());
+        assert_eq!(report.count(PafishCategory::Cpu), 3, "{:?}", report.triggered);
+        assert_eq!(report.count(PafishCategory::GenericSandbox), 3, "{:?}", report.triggered);
+        assert_eq!(report.count(PafishCategory::Hook), 1);
+        assert_eq!(report.count(PafishCategory::VirtualBox), 16, "{:?}", report.triggered);
+        assert_eq!(report.count(PafishCategory::VMware), 0);
+        assert_eq!(report.count(PafishCategory::Cuckoo), 0);
+        assert_eq!(report.count(PafishCategory::Debuggers), 0);
+    }
+
+    #[test]
+    fn end_user_machine_matches_table2_without_scarecrow() {
+        let report = run_on(end_user_machine());
+        assert_eq!(report.count(PafishCategory::Cpu), 1, "{:?}", report.triggered);
+        assert!(report.triggered.contains(&"cpu_rdtsc_diff_vmexit".to_owned()));
+        assert_eq!(report.count(PafishCategory::GenericSandbox), 1);
+        assert_eq!(report.count(PafishCategory::VMware), 1);
+        assert!(report.triggered.contains(&"vmware_device_vmci".to_owned()));
+        assert_eq!(report.count(PafishCategory::VirtualBox), 0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Pairwise trace comparison.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use crate::trace::{ActivityKey, Trace};
+
+/// The result of comparing a baseline trace (sample run **without**
+/// Scarecrow) against a protected trace (sample run **with** Scarecrow).
+///
+/// This mirrors the evaluation methodology of Section IV-C: "We examined if
+/// there were any significant activities … in the trace without SCARECROW
+/// but not in the trace with SCARECROW."
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceDiff {
+    /// Significant activities present only in the baseline (suppressed by
+    /// the deception engine).
+    pub suppressed: BTreeSet<ActivityKey>,
+    /// Significant activities present only in the protected run (new
+    /// behaviour caused by the engine, e.g. a benign fallback component).
+    pub introduced: BTreeSet<ActivityKey>,
+    /// Significant activities present in both runs.
+    pub common: BTreeSet<ActivityKey>,
+    /// Self-spawn counts (baseline, protected).
+    pub self_spawns: (usize, usize),
+}
+
+impl TraceDiff {
+    /// Computes the diff between the two runs of one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the traces record different root images — comparing runs of
+    /// different samples is a harness bug, not a data condition.
+    pub fn compute(baseline: &Trace, protected: &Trace) -> Self {
+        assert_eq!(
+            baseline.root_image(),
+            protected.root_image(),
+            "trace diff requires two runs of the same sample"
+        );
+        let base = baseline.significant_activities();
+        let prot = protected.significant_activities();
+        TraceDiff {
+            suppressed: base.difference(&prot).cloned().collect(),
+            introduced: prot.difference(&base).cloned().collect(),
+            common: base.intersection(&prot).cloned().collect(),
+            self_spawns: (baseline.self_spawn_count(), protected.self_spawn_count()),
+        }
+    }
+
+    /// Whether the protected run lost significant activities relative to the
+    /// baseline.
+    pub fn has_suppressed(&self) -> bool {
+        !self.suppressed.is_empty()
+    }
+
+    /// Whether the baseline showed any significant activity at all.
+    ///
+    /// Samples such as the `Selfdel` family delete and terminate themselves
+    /// immediately in *both* environments; with no critical activity in the
+    /// baseline there is nothing to judge (paper: "it was not
+    /// straightforward to determine the effectiveness … without observing
+    /// any critical activities").
+    pub fn baseline_had_activity(&self) -> bool {
+        !self.suppressed.is_empty() || !self.common.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, EventKind};
+
+    fn trace_with(root: &str, images: &[&str]) -> Trace {
+        let mut t = Trace::new(root);
+        for (i, img) in images.iter().enumerate() {
+            t.record(Event::at(
+                i as u64,
+                1,
+                EventKind::ProcessCreate { pid: 10 + i as u32, parent: 1, image: (*img).into() },
+            ));
+        }
+        t
+    }
+
+    #[test]
+    fn diff_partitions_activities() {
+        let base = trace_with("m.exe", &["svchost.exe", "dropper.exe"]);
+        let prot = trace_with("m.exe", &["svchost.exe", "winform.exe"]);
+        let d = TraceDiff::compute(&base, &prot);
+        assert_eq!(d.suppressed.len(), 1);
+        assert_eq!(d.introduced.len(), 1);
+        assert_eq!(d.common.len(), 1);
+    }
+
+    #[test]
+    fn self_spawns_counted_per_side() {
+        let base = trace_with("m.exe", &["x.exe"]);
+        let prot = trace_with("m.exe", &["m.exe", "m.exe", "m.exe"]);
+        let d = TraceDiff::compute(&base, &prot);
+        assert_eq!(d.self_spawns, (0, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "same sample")]
+    fn diff_rejects_mismatched_samples() {
+        let a = Trace::new("a.exe");
+        let b = Trace::new("b.exe");
+        let _ = TraceDiff::compute(&a, &b);
+    }
+
+    #[test]
+    fn empty_baseline_reports_no_activity() {
+        let a = Trace::new("m.exe");
+        let b = Trace::new("m.exe");
+        let d = TraceDiff::compute(&a, &b);
+        assert!(!d.baseline_had_activity());
+    }
+}

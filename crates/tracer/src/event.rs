@@ -1,0 +1,295 @@
+//! The typed kernel event model.
+
+use serde::{Deserialize, Serialize};
+
+/// A process identifier inside the simulated machine.
+pub type Pid = u32;
+
+/// A thread identifier inside the simulated machine.
+pub type Tid = u32;
+
+/// Milliseconds of virtual time since the machine booted.
+///
+/// The substrate advances a deterministic virtual clock; wall-clock time
+/// never appears in traces so runs are reproducible.
+pub type VirtualTime = u64;
+
+/// The registry operation performed by a [`EventKind::Registry`] event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum RegOp {
+    /// A key was created.
+    CreateKey,
+    /// A key was opened (query-only; not a significant activity).
+    OpenKey,
+    /// A value was read (query-only; not a significant activity).
+    QueryValue,
+    /// A value was written.
+    SetValue,
+    /// A key was deleted.
+    DeleteKey,
+    /// A value was deleted.
+    DeleteValue,
+}
+
+impl RegOp {
+    /// Whether this operation mutates the registry.
+    ///
+    /// Only mutating operations count as *significant activities* in the
+    /// paper's deactivation criterion ("modifying registries").
+    pub fn is_mutation(self) -> bool {
+        matches!(
+            self,
+            RegOp::CreateKey | RegOp::SetValue | RegOp::DeleteKey | RegOp::DeleteValue
+        )
+    }
+}
+
+/// One kernel activity, in the spirit of a Fibratus kevent.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A new process was created.
+    ProcessCreate {
+        /// Pid of the new process.
+        pid: Pid,
+        /// Pid of the creator.
+        parent: Pid,
+        /// Image (executable) name of the new process.
+        image: String,
+    },
+    /// A process exited or was killed.
+    ProcessTerminate {
+        /// Pid of the terminated process.
+        pid: Pid,
+        /// Image name of the terminated process.
+        image: String,
+        /// Exit code reported to the kernel.
+        exit_code: i32,
+    },
+    /// Code was injected into another process (e.g. `WriteProcessMemory`
+    /// plus `CreateRemoteThread`, or an APC).
+    ProcessInject {
+        /// Pid of the injecting process.
+        source: Pid,
+        /// Pid of the victim process.
+        target: Pid,
+        /// Victim image name.
+        target_image: String,
+    },
+    /// A thread started.
+    ThreadCreate {
+        /// Owning process.
+        pid: Pid,
+        /// New thread id.
+        tid: Tid,
+    },
+    /// A thread exited.
+    ThreadTerminate {
+        /// Owning process.
+        pid: Pid,
+        /// Exiting thread id.
+        tid: Tid,
+    },
+    /// A file was created.
+    FileCreate {
+        /// Absolute path of the file.
+        path: String,
+    },
+    /// Bytes were written to a file.
+    FileWrite {
+        /// Absolute path of the file.
+        path: String,
+        /// Number of bytes written.
+        bytes: u64,
+    },
+    /// A file was read (not a significant activity).
+    FileRead {
+        /// Absolute path of the file.
+        path: String,
+    },
+    /// A file was deleted.
+    FileDelete {
+        /// Absolute path of the file.
+        path: String,
+    },
+    /// A file was renamed (ransomware extension changes show up here).
+    FileRename {
+        /// Path before the rename.
+        from: String,
+        /// Path after the rename.
+        to: String,
+    },
+    /// A registry operation.
+    Registry {
+        /// What was done.
+        op: RegOp,
+        /// The key path, and for value operations `key\\value`.
+        path: String,
+    },
+    /// A DLL was mapped into a process.
+    ImageLoad {
+        /// Process that loaded the image.
+        pid: Pid,
+        /// Image (DLL) name.
+        image: String,
+    },
+    /// A DLL was unmapped from a process.
+    ImageUnload {
+        /// Process that unloaded the image.
+        pid: Pid,
+        /// Image (DLL) name.
+        image: String,
+    },
+    /// A DNS query was issued.
+    DnsQuery {
+        /// The queried domain.
+        domain: String,
+        /// The resolution result, if any (dotted-quad string).
+        resolved: Option<String>,
+    },
+    /// An HTTP request completed.
+    HttpRequest {
+        /// Target host.
+        host: String,
+        /// HTTP status code of the response, if one arrived.
+        status: Option<u16>,
+    },
+    /// An outbound connection attempt on an arbitrary port.
+    NetConnect {
+        /// Destination address (dotted-quad string).
+        addr: String,
+        /// Destination port.
+        port: u16,
+    },
+    /// A mutex was created (malware often uses named mutexes as infection
+    /// markers; benign software uses them for single-instance checks).
+    MutexCreate {
+        /// Name of the mutex.
+        name: String,
+    },
+    /// A module-presence query (`GetModuleHandle` / failed `LoadLibrary`).
+    ModuleQuery {
+        /// Queried module name.
+        name: String,
+    },
+    /// A GUI window lookup (`FindWindow`).
+    WindowQuery {
+        /// Queried class (may be empty).
+        class: String,
+        /// Queried title (may be empty).
+        title: String,
+    },
+    /// A debugger-presence query (`IsDebuggerPresent`,
+    /// `CheckRemoteDebuggerPresent`, `NtQueryInformationProcess`).
+    DebugQuery {
+        /// The querying API's name.
+        api: String,
+    },
+    /// A system-configuration query (memory size, disk size, core count,
+    /// tick count, user/computer name, …).
+    InfoQuery {
+        /// What was queried (API-level label).
+        what: String,
+    },
+    /// A deception / monitoring alarm raised by an engine such as Scarecrow
+    /// (for instance, the self-spawn-loop alarm of Section VI-C).
+    Alarm {
+        /// Engine-specific alarm description.
+        message: String,
+    },
+}
+
+impl EventKind {
+    /// Short machine-readable tag used in reports and diff keys.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            EventKind::ProcessCreate { .. } => "proc_create",
+            EventKind::ProcessTerminate { .. } => "proc_term",
+            EventKind::ProcessInject { .. } => "proc_inject",
+            EventKind::ThreadCreate { .. } => "thread_create",
+            EventKind::ThreadTerminate { .. } => "thread_term",
+            EventKind::FileCreate { .. } => "file_create",
+            EventKind::FileWrite { .. } => "file_write",
+            EventKind::FileRead { .. } => "file_read",
+            EventKind::FileDelete { .. } => "file_delete",
+            EventKind::FileRename { .. } => "file_rename",
+            EventKind::Registry { .. } => "registry",
+            EventKind::ImageLoad { .. } => "image_load",
+            EventKind::ImageUnload { .. } => "image_unload",
+            EventKind::DnsQuery { .. } => "dns_query",
+            EventKind::HttpRequest { .. } => "http",
+            EventKind::NetConnect { .. } => "net_connect",
+            EventKind::MutexCreate { .. } => "mutex",
+            EventKind::ModuleQuery { .. } => "module_query",
+            EventKind::WindowQuery { .. } => "window_query",
+            EventKind::DebugQuery { .. } => "debug_query",
+            EventKind::InfoQuery { .. } => "info_query",
+            EventKind::Alarm { .. } => "alarm",
+        }
+    }
+}
+
+/// A single trace entry: an [`EventKind`] stamped with virtual time and the
+/// pid of the acting process.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Event {
+    /// Virtual time at which the event occurred.
+    pub time: VirtualTime,
+    /// Pid of the process that performed the activity.
+    pub pid: Pid,
+    /// The activity itself.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// Creates an event at the given virtual time, attributed to `pid`.
+    ///
+    /// ```
+    /// use tracer::{Event, EventKind};
+    /// let e = Event::at(12, 4, EventKind::FileCreate { path: r"C:\x".into() });
+    /// assert_eq!(e.kind.tag(), "file_create");
+    /// ```
+    pub fn at(time: VirtualTime, pid: Pid, kind: EventKind) -> Self {
+        Event { time, pid, kind }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_op_mutation_classification() {
+        assert!(RegOp::CreateKey.is_mutation());
+        assert!(RegOp::SetValue.is_mutation());
+        assert!(RegOp::DeleteKey.is_mutation());
+        assert!(RegOp::DeleteValue.is_mutation());
+        assert!(!RegOp::OpenKey.is_mutation());
+        assert!(!RegOp::QueryValue.is_mutation());
+    }
+
+    #[test]
+    fn tags_are_distinct_for_distinct_kinds() {
+        let kinds = [
+            EventKind::ProcessCreate { pid: 1, parent: 0, image: "a".into() },
+            EventKind::ProcessTerminate { pid: 1, image: "a".into(), exit_code: 0 },
+            EventKind::FileCreate { path: "p".into() },
+            EventKind::FileWrite { path: "p".into(), bytes: 1 },
+            EventKind::Registry { op: RegOp::SetValue, path: "k".into() },
+            EventKind::DnsQuery { domain: "d".into(), resolved: None },
+        ];
+        let tags: std::collections::HashSet<_> = kinds.iter().map(|k| k.tag()).collect();
+        assert_eq!(tags.len(), kinds.len());
+    }
+
+    #[test]
+    fn event_round_trips_through_serde() {
+        let e = Event::at(
+            7,
+            3,
+            EventKind::FileRename { from: "a.doc".into(), to: "a.doc.WCRY".into() },
+        );
+        let json = serde_json::to_string(&e).unwrap();
+        let back: Event = serde_json::from_str(&json).unwrap();
+        assert_eq!(e, back);
+    }
+}

@@ -1,0 +1,105 @@
+//! Status and error codes of the simulated Windows API surface.
+
+use serde::{Deserialize, Serialize};
+
+/// NTSTATUS-style result codes returned by the `Nt*` native APIs and mapped
+/// into Win32 error codes by the higher-level wrappers.
+///
+/// Only the codes the reproduced evasive logic actually inspects are
+/// modeled; everything else collapses to [`NtStatus::Unsuccessful`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NtStatus {
+    /// `STATUS_SUCCESS`.
+    Success,
+    /// `STATUS_OBJECT_NAME_NOT_FOUND` — missing registry key or file.
+    ObjectNameNotFound,
+    /// `STATUS_OBJECT_PATH_NOT_FOUND` — missing parent path.
+    ObjectPathNotFound,
+    /// `STATUS_ACCESS_DENIED`.
+    AccessDenied,
+    /// `STATUS_INVALID_HANDLE`.
+    InvalidHandle,
+    /// `STATUS_BUFFER_TOO_SMALL`.
+    BufferTooSmall,
+    /// `STATUS_INVALID_PARAMETER`.
+    InvalidParameter,
+    /// `STATUS_NO_MORE_ENTRIES` — enumeration exhausted.
+    NoMoreEntries,
+    /// Catch-all failure.
+    Unsuccessful,
+}
+
+impl NtStatus {
+    /// Whether the status signals success (`NT_SUCCESS` macro).
+    pub fn is_success(self) -> bool {
+        self == NtStatus::Success
+    }
+}
+
+impl std::fmt::Display for NtStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            NtStatus::Success => "STATUS_SUCCESS",
+            NtStatus::ObjectNameNotFound => "STATUS_OBJECT_NAME_NOT_FOUND",
+            NtStatus::ObjectPathNotFound => "STATUS_OBJECT_PATH_NOT_FOUND",
+            NtStatus::AccessDenied => "STATUS_ACCESS_DENIED",
+            NtStatus::InvalidHandle => "STATUS_INVALID_HANDLE",
+            NtStatus::BufferTooSmall => "STATUS_BUFFER_TOO_SMALL",
+            NtStatus::InvalidParameter => "STATUS_INVALID_PARAMETER",
+            NtStatus::NoMoreEntries => "STATUS_NO_MORE_ENTRIES",
+            NtStatus::Unsuccessful => "STATUS_UNSUCCESSFUL",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Errors surfaced by the simulation itself (not by simulated APIs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A program image was launched or spawned but never registered with
+    /// the machine, and no stub fallback was permitted.
+    UnknownImage(String),
+    /// An operation referenced a process id that does not exist.
+    NoSuchProcess(u32),
+    /// The requested API argument was missing or of the wrong type.
+    BadArgument {
+        /// The API being called.
+        api: &'static str,
+        /// Human-readable description of the problem.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::UnknownImage(img) => write!(f, "unknown program image: {img}"),
+            SimError::NoSuchProcess(pid) => write!(f, "no such process: {pid}"),
+            SimError::BadArgument { api, detail } => {
+                write!(f, "bad argument to {api}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn success_predicate() {
+        assert!(NtStatus::Success.is_success());
+        assert!(!NtStatus::ObjectNameNotFound.is_success());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(NtStatus::Success.to_string(), "STATUS_SUCCESS");
+        assert_eq!(
+            SimError::UnknownImage("x.exe".into()).to_string(),
+            "unknown program image: x.exe"
+        );
+    }
+}

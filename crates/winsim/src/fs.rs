@@ -1,0 +1,254 @@
+//! The simulated filesystem: drives with capacities and a flat
+//! case-insensitive path → file map with implicit directories.
+//!
+//! Evasive malware checks for analysis-environment driver files such as
+//! `vmmouse.sys` (Section II-B(a)), and the "Hardware resources" deception
+//! fakes a small disk (50 GB, Section II-B). Ransomware payloads encrypt
+//! user files here, which the tracer observes as writes and renames.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::NtStatus;
+
+/// Capacity information for one drive letter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DriveInfo {
+    /// Total size in bytes.
+    pub total_bytes: u64,
+    /// Free space in bytes.
+    pub free_bytes: u64,
+}
+
+impl DriveInfo {
+    /// Convenience constructor from gigabytes.
+    pub fn gb(total: u64, free: u64) -> Self {
+        DriveInfo { total_bytes: total << 30, free_bytes: free << 30 }
+    }
+}
+
+/// One file's metadata and (symbolic) contents.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FileNode {
+    /// Display-cased absolute path.
+    pub path: String,
+    /// Size in bytes.
+    pub size: u64,
+    /// Whether the contents have been encrypted by a ransomware payload.
+    pub encrypted: bool,
+    /// Symbolic content tag (e.g. `"user-document"`, `"vm-driver"`).
+    pub tag: String,
+}
+
+/// The filesystem store.
+///
+/// ```
+/// use winsim::{DriveInfo, FileSystem};
+/// let mut fs = FileSystem::new();
+/// fs.set_drive('C', DriveInfo::gb(50, 21));
+/// fs.create(r"C:\Users\u\Documents\report.docx", 4096, "user-document");
+/// assert!(fs.exists(r"c:\users\u\documents\REPORT.DOCX"));
+/// assert!(fs.rename(r"C:\Users\u\Documents\report.docx",
+///                   r"C:\Users\u\Documents\report.docx.WCRY"));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FileSystem {
+    files: BTreeMap<String, FileNode>,
+    drives: BTreeMap<char, DriveInfo>,
+}
+
+fn norm(path: &str) -> String {
+    path.replace('/', "\\").trim_end_matches('\\').to_ascii_lowercase()
+}
+
+impl FileSystem {
+    /// Creates an empty filesystem with no drives.
+    pub fn new() -> Self {
+        FileSystem::default()
+    }
+
+    /// Defines (or replaces) a drive.
+    pub fn set_drive(&mut self, letter: char, info: DriveInfo) {
+        self.drives.insert(letter.to_ascii_uppercase(), info);
+    }
+
+    /// Capacity of a drive, if defined.
+    pub fn drive(&self, letter: char) -> Option<DriveInfo> {
+        self.drives.get(&letter.to_ascii_uppercase()).copied()
+    }
+
+    /// Creates a file with a tag; overwrites any existing node.
+    pub fn create(&mut self, path: &str, size: u64, tag: &str) {
+        self.files.insert(
+            norm(path),
+            FileNode { path: path.to_owned(), size, encrypted: false, tag: tag.to_owned() },
+        );
+    }
+
+    /// Whether the path names an existing file.
+    pub fn exists(&self, path: &str) -> bool {
+        self.files.contains_key(&norm(path))
+    }
+
+    /// Whether the path names an existing directory (a prefix of any file).
+    pub fn dir_exists(&self, path: &str) -> bool {
+        let n = norm(path);
+        let prefix = format!("{n}\\");
+        self.files.range(prefix.clone()..).next().is_some_and(|(k, _)| k.starts_with(&prefix))
+    }
+
+    /// `NtQueryAttributesFile` result for a path.
+    pub fn query_attributes(&self, path: &str) -> NtStatus {
+        if self.exists(path) || self.dir_exists(path) {
+            NtStatus::Success
+        } else {
+            NtStatus::ObjectNameNotFound
+        }
+    }
+
+    /// File metadata, if present.
+    pub fn node(&self, path: &str) -> Option<&FileNode> {
+        self.files.get(&norm(path))
+    }
+
+    /// Appends `bytes` to a file, creating it if needed. Returns new size.
+    pub fn write(&mut self, path: &str, bytes: u64) -> u64 {
+        let node = self.files.entry(norm(path)).or_insert_with(|| FileNode {
+            path: path.to_owned(),
+            size: 0,
+            encrypted: false,
+            tag: String::new(),
+        });
+        node.size += bytes;
+        node.size
+    }
+
+    /// Marks a file's contents as encrypted (ransomware payloads).
+    ///
+    /// Returns `false` if the file does not exist.
+    pub fn encrypt(&mut self, path: &str) -> bool {
+        match self.files.get_mut(&norm(path)) {
+            Some(node) => {
+                node.encrypted = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Deletes a file; returns whether it existed.
+    pub fn delete(&mut self, path: &str) -> bool {
+        self.files.remove(&norm(path)).is_some()
+    }
+
+    /// Renames a file; returns whether the source existed.
+    pub fn rename(&mut self, from: &str, to: &str) -> bool {
+        match self.files.remove(&norm(from)) {
+            Some(mut node) => {
+                node.path = to.to_owned();
+                self.files.insert(norm(to), node);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Files directly or transitively under a directory path.
+    pub fn list_dir(&self, dir: &str) -> Vec<&FileNode> {
+        let n = norm(dir);
+        let prefix = format!("{n}\\");
+        self.files
+            .range(prefix.clone()..)
+            .take_while(|(k, _)| k.starts_with(&prefix))
+            .map(|(_, v)| v)
+            .collect()
+    }
+
+    /// All files whose tag equals `tag`.
+    pub fn files_tagged<'a>(&'a self, tag: &'a str) -> impl Iterator<Item = &'a FileNode> {
+        self.files.values().filter(move |f| f.tag == tag)
+    }
+
+    /// Total number of files.
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Iterates over every file node.
+    pub fn iter(&self) -> impl Iterator<Item = &FileNode> {
+        self.files.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drive_capacities() {
+        let mut fs = FileSystem::new();
+        fs.set_drive('c', DriveInfo::gb(50, 20));
+        let d = fs.drive('C').unwrap();
+        assert_eq!(d.total_bytes, 50 << 30);
+        assert_eq!(d.free_bytes, 20 << 30);
+        assert!(fs.drive('D').is_none());
+    }
+
+    #[test]
+    fn exists_is_case_insensitive_and_slash_tolerant() {
+        let mut fs = FileSystem::new();
+        fs.create(r"C:\Windows\System32\drivers\vmmouse.sys", 8192, "vm-driver");
+        assert!(fs.exists(r"c:\windows\system32\DRIVERS\VMMOUSE.SYS"));
+        assert!(fs.exists("C:/Windows/System32/drivers/vmmouse.sys"));
+        assert!(!fs.exists(r"C:\vmmouse.sys"));
+    }
+
+    #[test]
+    fn dir_existence_is_implicit() {
+        let mut fs = FileSystem::new();
+        fs.create(r"C:\analysis\sample\a.bin", 1, "t");
+        assert!(fs.dir_exists(r"C:\analysis"));
+        assert!(fs.dir_exists(r"C:\analysis\sample"));
+        assert!(!fs.dir_exists(r"C:\analysis\other"));
+        assert_eq!(fs.query_attributes(r"C:\analysis"), NtStatus::Success);
+        assert_eq!(fs.query_attributes(r"C:\nope"), NtStatus::ObjectNameNotFound);
+    }
+
+    #[test]
+    fn write_creates_and_grows() {
+        let mut fs = FileSystem::new();
+        assert_eq!(fs.write(r"C:\t.log", 10), 10);
+        assert_eq!(fs.write(r"C:\t.log", 5), 15);
+    }
+
+    #[test]
+    fn rename_and_encrypt_model_ransomware() {
+        let mut fs = FileSystem::new();
+        fs.create(r"C:\Users\u\doc.xls", 100, "user-document");
+        assert!(fs.encrypt(r"C:\Users\u\doc.xls"));
+        assert!(fs.rename(r"C:\Users\u\doc.xls", r"C:\Users\u\doc.xls.WCRY"));
+        let node = fs.node(r"C:\Users\u\doc.xls.WCRY").unwrap();
+        assert!(node.encrypted);
+        assert!(!fs.exists(r"C:\Users\u\doc.xls"));
+        assert!(!fs.encrypt(r"C:\missing"));
+    }
+
+    #[test]
+    fn list_dir_scopes_to_subtree() {
+        let mut fs = FileSystem::new();
+        fs.create(r"C:\a\1.txt", 1, "t");
+        fs.create(r"C:\a\b\2.txt", 1, "t");
+        fs.create(r"C:\ab\3.txt", 1, "t");
+        assert_eq!(fs.list_dir(r"C:\a").len(), 2);
+        assert_eq!(fs.list_dir(r"C:\ab").len(), 1);
+    }
+
+    #[test]
+    fn tagged_iteration() {
+        let mut fs = FileSystem::new();
+        fs.create(r"C:\u\a.doc", 1, "user-document");
+        fs.create(r"C:\w\d.sys", 1, "driver");
+        assert_eq!(fs.files_tagged("user-document").count(), 1);
+    }
+}

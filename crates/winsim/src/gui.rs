@@ -1,0 +1,78 @@
+//! GUI window table (`FindWindow`-visible windows).
+//!
+//! "Some evasive malware uses FindWindow API to look for active debugger
+//! windows as an indication of debugger presence. We embrace 6 debugger GUI
+//! windows and 4 sandbox related windows in SCARECROW" (Section II-B(d)).
+
+use serde::{Deserialize, Serialize};
+
+/// One top-level window.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Window {
+    /// Window class name (what `FindWindowA(class, NULL)` matches).
+    pub class: String,
+    /// Window title (what `FindWindowA(NULL, title)` matches).
+    pub title: String,
+}
+
+/// The set of top-level windows on the desktop.
+///
+/// ```
+/// use winsim::WindowManager;
+/// let mut wm = WindowManager::new();
+/// wm.add("OLLYDBG", "OllyDbg - [CPU]");
+/// assert!(wm.find("ollydbg", ""));      // FindWindow(class, NULL)
+/// assert!(wm.find("", "OllyDbg - [CPU]")); // FindWindow(NULL, title)
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowManager {
+    windows: Vec<Window>,
+}
+
+impl WindowManager {
+    /// Creates an empty desktop.
+    pub fn new() -> Self {
+        WindowManager::default()
+    }
+
+    /// Registers a window.
+    pub fn add(&mut self, class: &str, title: &str) {
+        self.windows.push(Window { class: class.to_owned(), title: title.to_owned() });
+    }
+
+    /// `FindWindow` semantics: match by class and/or title; empty strings
+    /// act as NULL (wildcard). Returns whether a window matched.
+    pub fn find(&self, class: &str, title: &str) -> bool {
+        self.windows.iter().any(|w| {
+            (class.is_empty() || w.class.eq_ignore_ascii_case(class))
+                && (title.is_empty() || w.title.eq_ignore_ascii_case(title))
+        })
+    }
+
+    /// All windows.
+    pub fn windows(&self) -> &[Window] {
+        &self.windows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn find_by_class_title_or_both() {
+        let mut wm = WindowManager::new();
+        wm.add("OLLYDBG", "OllyDbg - main");
+        assert!(wm.find("ollydbg", ""));
+        assert!(wm.find("", "OllyDbg - main"));
+        assert!(wm.find("OLLYDBG", "OllyDbg - main"));
+        assert!(!wm.find("WinDbgFrameClass", ""));
+        assert!(!wm.find("OLLYDBG", "wrong title"));
+    }
+
+    #[test]
+    fn empty_desktop_finds_nothing() {
+        let wm = WindowManager::new();
+        assert!(!wm.find("anything", ""));
+    }
+}

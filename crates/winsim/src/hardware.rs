@@ -1,0 +1,293 @@
+//! The hardware model: CPU (CPUID / RDTSC), memory, disks, devices, MAC.
+//!
+//! Hardware resources "reflect the properties of the hardware"
+//! (Section II-B). Sandboxes and VMs have tell-tale configurations — tiny
+//! disks, one core, 1 GB of RAM, hypervisor CPUID leaves, VM-vendor MAC
+//! prefixes — which both evasive malware and Pafish probe. CPUID and RDTSC
+//! are *instructions*, not API calls, so they can never be intercepted by
+//! user-level hooks; they are exposed directly on this model and the paper's
+//! corresponding Scarecrow limitation (timing channels are "not handled by
+//! the current implementation") falls out naturally.
+
+use serde::{Deserialize, Serialize};
+
+/// A hypervisor vendor as reported by CPUID leaf `0x4000_0000`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HvVendor {
+    /// Oracle VirtualBox (`VBoxVBoxVBox`).
+    VirtualBox,
+    /// VMware (`VMwareVMware`).
+    VMware,
+    /// QEMU/KVM (`KVMKVMKVM`).
+    Kvm,
+    /// Microsoft Hyper-V (`Microsoft Hv`).
+    HyperV,
+}
+
+impl HvVendor {
+    /// The 12-byte vendor string returned in EBX/ECX/EDX.
+    pub fn vendor_string(self) -> &'static str {
+        match self {
+            HvVendor::VirtualBox => "VBoxVBoxVBox",
+            HvVendor::VMware => "VMwareVMware",
+            HvVendor::Kvm => "KVMKVMKVM",
+            HvVendor::HyperV => "Microsoft Hv",
+        }
+    }
+}
+
+/// Timing behaviour of the RDTSC instruction on this machine.
+///
+/// Pafish measures the cycle delta of `RDTSC; CPUID; RDTSC`: a hypervisor
+/// traps CPUID, causing a VM exit that inflates the delta far beyond the
+/// bare-metal cost. Real end-user machines occasionally show large deltas
+/// too (SMIs, power management) — the paper observed `rdtsc_diff_vmexit`
+/// firing on the physical end-user machine — modeled by `noise_cycles`
+/// applied every `noise_period`-th measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RdtscModel {
+    /// Cycles between two back-to-back RDTSC reads.
+    pub base_cycles: u64,
+    /// Extra cycles added when a CPUID-induced VM exit happens in between.
+    pub vmexit_cycles: u64,
+    /// Extra cycles added by platform noise on some measurements.
+    pub noise_cycles: u64,
+    /// Apply noise on every n-th measurement (0 = never).
+    pub noise_period: u32,
+}
+
+impl Default for RdtscModel {
+    fn default() -> Self {
+        // Bare metal: tight deltas, no noise.
+        RdtscModel { base_cycles: 30, vmexit_cycles: 0, noise_cycles: 0, noise_period: 0 }
+    }
+}
+
+/// The full hardware description of one machine.
+///
+/// ```
+/// use winsim::{Hardware, HvVendor};
+/// let mut hw = Hardware::new();
+/// assert!(!hw.hypervisor_bit());
+/// hw.hypervisor = Some(HvVendor::VirtualBox);
+/// hw.rdtsc.vmexit_cycles = 4_000;
+/// assert!(hw.hypervisor_bit());
+/// let delta = hw.rdtsc_delta(|hw| { hw.cpuid(0x1); });
+/// assert!(delta > 750, "a CPUID vm-exit dominates the RDTSC delta");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Hardware {
+    /// Physical CPU vendor string (CPUID leaf 0).
+    pub cpu_vendor: String,
+    /// The hypervisor hosting this machine, if any.
+    pub hypervisor: Option<HvVendor>,
+    /// When true, CPUID results are doctored for transparency: the
+    /// hypervisor-present bit reads 0 and the vendor leaf returns the
+    /// physical vendor (the paper's "we also modified CPUID instruction
+    /// results … of the Cuckoo sandbox").
+    pub cpuid_masked: bool,
+    /// Number of logical processors.
+    pub num_cores: u32,
+    /// Physical memory in MiB (as `GlobalMemoryStatusEx` reports it; real
+    /// firmware reserves a little, so a nominal 1 GiB module reports 1023).
+    pub memory_mb: u64,
+    /// RDTSC timing behaviour.
+    pub rdtsc: RdtscModel,
+    /// SMBIOS `SystemBiosVersion` registry-visible string.
+    pub system_bios_version: String,
+    /// SMBIOS `VideoBiosVersion` registry-visible string.
+    pub video_bios_version: String,
+    /// Primary disk model string (`VBOX HARDDISK`, `WDC WD10EZEX`, ...).
+    pub disk_model: String,
+    /// First NIC MAC address.
+    pub mac_address: [u8; 6],
+    /// Device namespace entries reachable via `\\.\name` opens
+    /// (e.g. `HGFS`, `vmci`, `VBoxGuest`).
+    pub devices: Vec<String>,
+    /// Cycles one first-chance exception dispatch takes. Debugger-attached
+    /// or shadow-page-analysis systems inflate this by orders of magnitude
+    /// (Section II-B(g)).
+    pub exception_dispatch_cycles: u64,
+    /// Monotone TSC counter (advances as the machine executes).
+    tsc: u64,
+    /// How many RDTSC-delta measurements have been taken (noise phase).
+    measurements: u32,
+}
+
+impl Default for Hardware {
+    fn default() -> Self {
+        Hardware {
+            cpu_vendor: "GenuineIntel".to_owned(),
+            hypervisor: None,
+            cpuid_masked: false,
+            num_cores: 4,
+            memory_mb: 8192,
+            rdtsc: RdtscModel::default(),
+            system_bios_version: "LENOVO - 1150".to_owned(),
+            video_bios_version: "Hardware Version 0.0".to_owned(),
+            disk_model: "WDC WD10EZEX-08WN4A0".to_owned(),
+            mac_address: [0x54, 0xee, 0x75, 0x21, 0x43, 0x7a],
+            devices: Vec::new(),
+            exception_dispatch_cycles: 220,
+            tsc: 0,
+            measurements: 0,
+        }
+    }
+}
+
+impl Hardware {
+    /// A default bare-metal hardware description.
+    pub fn new() -> Self {
+        Hardware::default()
+    }
+
+    /// Reads the time-stamp counter. Each read advances the TSC by half the
+    /// base measurement cost so a `rdtsc(); rdtsc();` pair differs by
+    /// `base_cycles` (plus any noise due on this measurement).
+    pub fn rdtsc(&mut self) -> u64 {
+        self.tsc += self.rdtsc.base_cycles / 2;
+        self.tsc
+    }
+
+    /// Executes CPUID with the given leaf, returning `(eax, vendor_string)`.
+    ///
+    /// * leaf `0x1`: bit 31 of the returned flags is the hypervisor-present
+    ///   bit (reported in `eax` here for simplicity);
+    /// * leaf `0x4000_0000`: the vendor string of the hypervisor.
+    ///
+    /// Executing CPUID under an (unmasked) hypervisor traps, adding
+    /// `vmexit_cycles` to the TSC — this is what `rdtsc_diff_vmexit`
+    /// detects.
+    pub fn cpuid(&mut self, leaf: u32) -> (u32, String) {
+        if self.hypervisor.is_some() && !self.cpuid_masked {
+            self.tsc += self.rdtsc.vmexit_cycles;
+        }
+        match (leaf, self.hypervisor, self.cpuid_masked) {
+            (0x1, Some(_), false) => (1 << 31, String::new()),
+            (0x1, _, _) => (0, String::new()),
+            (0x4000_0000, Some(hv), false) => (0, hv.vendor_string().to_owned()),
+            (0x4000_0000, _, _) => (0, String::new()),
+            (0x0, _, _) => (0, self.cpu_vendor.clone()),
+            _ => (0, String::new()),
+        }
+    }
+
+    /// Measures the RDTSC delta around an arbitrary action, applying
+    /// platform noise on schedule. This is the primitive that timing-based
+    /// evasive checks build on.
+    pub fn rdtsc_delta<F: FnOnce(&mut Hardware)>(&mut self, action: F) -> u64 {
+        self.measurements += 1;
+        let start = self.rdtsc();
+        action(self);
+        let mut delta = self.rdtsc() - start;
+        if self.rdtsc.noise_period != 0 && self.measurements.is_multiple_of(self.rdtsc.noise_period) {
+            delta += self.rdtsc.noise_cycles;
+        }
+        delta
+    }
+
+    /// Whether the hypervisor-present bit is visible (CPUID leaf 1, bit 31).
+    pub fn hypervisor_bit(&mut self) -> bool {
+        self.cpuid(0x1).0 & (1 << 31) != 0
+    }
+
+    /// The visible hypervisor vendor string (empty when none or masked).
+    pub fn hypervisor_vendor(&mut self) -> String {
+        self.cpuid(0x4000_0000).1
+    }
+
+    /// Whether `\\.\name` opens successfully (case-insensitive).
+    pub fn has_device(&self, name: &str) -> bool {
+        self.devices.iter().any(|d| d.eq_ignore_ascii_case(name))
+    }
+
+    /// The MAC address in colon-separated hex.
+    pub fn mac_string(&self) -> String {
+        self.mac_address.iter().map(|b| format!("{b:02x}")).collect::<Vec<_>>().join(":")
+    }
+
+    /// Whether the MAC's OUI belongs to a known VM vendor.
+    pub fn mac_is_vm_vendor(&self) -> bool {
+        matches!(
+            self.mac_address[..3],
+            // VirtualBox, VMware (three OUIs), Parallels, Xen
+            [0x08, 0x00, 0x27] | [0x00, 0x05, 0x69] | [0x00, 0x0c, 0x29] | [0x00, 0x50, 0x56]
+                | [0x00, 0x1c, 0x42] | [0x00, 0x16, 0x3e]
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bare_metal_rdtsc_is_tight() {
+        let mut hw = Hardware::new();
+        let d = hw.rdtsc_delta(|hw| {
+            hw.cpuid(0x1);
+        });
+        assert!(d < 100, "bare metal delta should be small, got {d}");
+    }
+
+    #[test]
+    fn hypervisor_inflates_cpuid_timing() {
+        let mut hw = Hardware::new();
+        hw.hypervisor = Some(HvVendor::VirtualBox);
+        hw.rdtsc = RdtscModel { base_cycles: 30, vmexit_cycles: 4000, noise_cycles: 0, noise_period: 0 };
+        let d = hw.rdtsc_delta(|hw| {
+            hw.cpuid(0x1);
+        });
+        assert!(d > 750, "vm exit should dominate, got {d}");
+    }
+
+    #[test]
+    fn cpuid_masking_hides_hypervisor_and_timing() {
+        let mut hw = Hardware::new();
+        hw.hypervisor = Some(HvVendor::VirtualBox);
+        hw.rdtsc.vmexit_cycles = 4000;
+        hw.cpuid_masked = true;
+        assert!(!hw.hypervisor_bit());
+        assert_eq!(hw.hypervisor_vendor(), "");
+        let d = hw.rdtsc_delta(|hw| {
+            hw.cpuid(0x1);
+        });
+        assert!(d < 100);
+    }
+
+    #[test]
+    fn noise_fires_on_schedule() {
+        let mut hw = Hardware::new();
+        hw.rdtsc =
+            RdtscModel { base_cycles: 30, vmexit_cycles: 0, noise_cycles: 5000, noise_period: 2 };
+        let d1 = hw.rdtsc_delta(|_| {});
+        let d2 = hw.rdtsc_delta(|_| {});
+        assert!(d1 < 100 && d2 > 750, "every second measurement is noisy: {d1} {d2}");
+    }
+
+    #[test]
+    fn hypervisor_bit_and_vendor() {
+        let mut hw = Hardware::new();
+        assert!(!hw.hypervisor_bit());
+        hw.hypervisor = Some(HvVendor::VMware);
+        assert!(hw.hypervisor_bit());
+        assert_eq!(hw.hypervisor_vendor(), "VMwareVMware");
+    }
+
+    #[test]
+    fn vm_mac_ouis() {
+        let mut hw = Hardware::new();
+        assert!(!hw.mac_is_vm_vendor());
+        hw.mac_address = [0x08, 0x00, 0x27, 1, 2, 3];
+        assert!(hw.mac_is_vm_vendor());
+        assert_eq!(&hw.mac_string()[..8], "08:00:27");
+    }
+
+    #[test]
+    fn device_lookup() {
+        let mut hw = Hardware::new();
+        hw.devices.push("VBoxGuest".into());
+        assert!(hw.has_device("vboxguest"));
+        assert!(!hw.has_device("HGFS"));
+    }
+}

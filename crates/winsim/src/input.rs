@@ -1,0 +1,81 @@
+//! User-input model (mouse position over virtual time).
+//!
+//! Pafish's `mouse_activity` evidence samples the cursor position, sleeps
+//! two seconds, and samples again; identical positions indicate an
+//! unattended machine. In the paper this evidence triggered on *all three*
+//! environments — even the real end-user machine — because nobody moved the
+//! mouse while Pafish ran.
+
+use serde::{Deserialize, Serialize};
+
+/// Deterministic cursor model.
+///
+/// ```
+/// use winsim::InputModel;
+/// let idle = InputModel::unattended();
+/// assert_eq!(idle.cursor_at(0), idle.cursor_at(2_000)); // Pafish triggers
+/// let active = InputModel::active(120);
+/// assert_ne!(active.cursor_at(0), active.cursor_at(2_000));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InputModel {
+    /// Cursor moves this many times per virtual minute (0 = unattended).
+    pub moves_per_minute: u32,
+    /// Starting cursor position.
+    pub origin: (i32, i32),
+}
+
+impl Default for InputModel {
+    fn default() -> Self {
+        InputModel { moves_per_minute: 0, origin: (512, 384) }
+    }
+}
+
+impl InputModel {
+    /// An unattended machine (no movement).
+    pub fn unattended() -> Self {
+        InputModel::default()
+    }
+
+    /// A machine with an active user moving the mouse.
+    pub fn active(moves_per_minute: u32) -> Self {
+        InputModel { moves_per_minute, origin: (512, 384) }
+    }
+
+    /// The cursor position at a given virtual time.
+    ///
+    /// Movement is deterministic: the cursor hops a few pixels every
+    /// `60_000 / moves_per_minute` ms.
+    pub fn cursor_at(&self, time_ms: u64) -> (i32, i32) {
+        if self.moves_per_minute == 0 {
+            return self.origin;
+        }
+        let interval = 60_000 / u64::from(self.moves_per_minute);
+        let hops = (time_ms / interval.max(1)) as i32;
+        (self.origin.0 + hops * 3, self.origin.1 + (hops % 7) * 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unattended_cursor_never_moves() {
+        let m = InputModel::unattended();
+        assert_eq!(m.cursor_at(0), m.cursor_at(120_000));
+    }
+
+    #[test]
+    fn active_cursor_moves_over_two_seconds() {
+        let m = InputModel::active(120); // every 500 ms
+        assert_ne!(m.cursor_at(0), m.cursor_at(2_000));
+    }
+
+    #[test]
+    fn slow_user_may_look_idle_in_short_windows() {
+        let m = InputModel::active(1); // once a minute
+        assert_eq!(m.cursor_at(0), m.cursor_at(2_000));
+        assert_ne!(m.cursor_at(0), m.cursor_at(61_000));
+    }
+}

@@ -1,0 +1,1136 @@
+//! The machine: processes + scheduler + API dispatch over a [`System`].
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::Arc;
+
+use tracer::{Event, EventKind, RegOp, Trace};
+
+use crate::api::{Api, ApiCall, ApiHook, HOOKED_PROLOGUE};
+use crate::error::{NtStatus, SimError};
+use crate::process::{Peb, Pid, ProcState, Process};
+use crate::program::{Program, ProcessCtx};
+use crate::registry::RegValue;
+use crate::system::{OsVersion, System};
+use crate::values::{Args, Value};
+
+/// Default per-sample execution budget: the paper "ran the malware sample
+/// for one minute" before resetting the machine.
+pub const DEFAULT_BUDGET_MS: u64 = 60_000;
+
+/// Hard cap on processes created in one run (fork-bomb containment for the
+/// simulator itself; Scarecrow's own mitigation is separate).
+pub const DEFAULT_MAX_PROCESSES: usize = 4_096;
+
+/// A simulated Windows machine: system state, a process table, registered
+/// program images, and a deterministic run-to-completion scheduler.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use winsim::{Machine, System, Program, ProcessCtx};
+///
+/// struct Hello;
+/// impl Program for Hello {
+///     fn image_name(&self) -> &str { "hello.exe" }
+///     fn run(&self, ctx: &mut ProcessCtx<'_>) {
+///         ctx.create_file(r"C:\hello.txt");
+///     }
+/// }
+///
+/// let mut m = Machine::new(System::new());
+/// m.register_program(Arc::new(Hello));
+/// m.launch("hello.exe")?;
+/// m.run();
+/// assert!(m.system().fs.exists(r"C:\hello.txt"));
+/// # Ok::<(), winsim::SimError>(())
+/// ```
+pub struct Machine {
+    sys: System,
+    procs: BTreeMap<Pid, Process>,
+    programs: HashMap<String, Arc<dyn Program>>,
+    queue: VecDeque<Pid>,
+    trace: Trace,
+    next_pid: Pid,
+    created: usize,
+    explorer: Pid,
+    /// Hooks injected into every newly created process (a sandbox monitor
+    /// such as Cuckoo does exactly this to analyzed samples).
+    autoinject: Vec<(Api, Arc<dyn ApiHook>)>,
+    /// Live Toolhelp32 snapshots: handle → (images, cursor).
+    snapshots: HashMap<u64, (Vec<String>, usize)>,
+    next_snapshot: u64,
+    /// Per-run virtual-time budget.
+    pub budget_ms: u64,
+    /// Process-creation cap.
+    pub max_processes: usize,
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("env", &self.sys.config.kind)
+            .field("processes", &self.procs.len())
+            .field("queued", &self.queue.len())
+            .field("trace_events", &self.trace.len())
+            .finish()
+    }
+}
+
+impl Machine {
+    /// Creates a machine over the given system state, with the standard
+    /// `System` and `explorer.exe` processes present.
+    pub fn new(sys: System) -> Self {
+        let cores = sys.hardware.num_cores;
+        let mut m = Machine {
+            sys,
+            procs: BTreeMap::new(),
+            programs: HashMap::new(),
+            queue: VecDeque::new(),
+            trace: Trace::new(""),
+            next_pid: 100,
+            created: 0,
+            explorer: 0,
+            autoinject: Vec::new(),
+            snapshots: HashMap::new(),
+            next_snapshot: 0x51AB_0000,
+            budget_ms: DEFAULT_BUDGET_MS,
+            max_processes: DEFAULT_MAX_PROCESSES,
+        };
+        let peb = Peb { being_debugged: false, number_of_processors: cores };
+        let mut system_proc = Process::new(4, 0, "System", "System", peb);
+        system_proc.is_system = true;
+        m.procs.insert(4, system_proc);
+        m.explorer = m.add_system_process("explorer.exe");
+        m
+    }
+
+    /// The passive system state.
+    pub fn system(&self) -> &System {
+        &self.sys
+    }
+
+    /// Mutable access to the system state (presets, payload helpers).
+    pub fn system_mut(&mut self) -> &mut System {
+        &mut self.sys
+    }
+
+    /// The pid of `explorer.exe` (the normal double-click parent).
+    pub fn explorer_pid(&self) -> Pid {
+        self.explorer
+    }
+
+    /// Adds an inert, program-less process (pre-existing system services,
+    /// analysis daemons, `VBoxService.exe`, …). Returns its pid.
+    pub fn add_system_process(&mut self, image: &str) -> Pid {
+        let pid = self.alloc_pid();
+        let peb =
+            Peb { being_debugged: false, number_of_processors: self.sys.hardware.num_cores };
+        let mut p = Process::new(pid, 4, image, &format!(r"C:\Windows\System32\{image}"), peb);
+        p.is_system = true;
+        self.procs.insert(pid, p);
+        pid
+    }
+
+    /// Registers a runnable program image.
+    pub fn register_program(&mut self, prog: Arc<dyn Program>) {
+        self.programs.insert(prog.image_name().to_ascii_lowercase(), prog);
+    }
+
+    /// Whether an image has a registered program body.
+    pub fn has_program(&self, image: &str) -> bool {
+        self.programs.contains_key(&image.to_ascii_lowercase())
+    }
+
+    /// Adds a hook that is automatically installed on `api` in every
+    /// subsequently created process (models an always-on sandbox monitor).
+    pub fn add_autoinject_hook(&mut self, api: Api, hook: Arc<dyn ApiHook>) {
+        self.autoinject.push((api, hook));
+    }
+
+    /// Launches a registered program as a child of `explorer.exe` (the
+    /// normal end-user start) and sets it as the trace root.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownImage`] if no program with this image was
+    /// registered.
+    pub fn launch(&mut self, image: &str) -> Result<Pid, SimError> {
+        let parent = self.explorer;
+        self.launch_as_child(image, parent)
+    }
+
+    /// Launches a registered program as a child of an arbitrary parent
+    /// process (the Scarecrow controller uses this so the sample sees
+    /// `scarecrow.exe` as its parent, mimicking a sandbox daemon).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownImage`] if no program with this image was
+    /// registered, or [`SimError::NoSuchProcess`] for a bad parent pid.
+    pub fn launch_as_child(&mut self, image: &str, parent: Pid) -> Result<Pid, SimError> {
+        if !self.has_program(image) {
+            return Err(SimError::UnknownImage(image.to_owned()));
+        }
+        if !self.procs.contains_key(&parent) {
+            return Err(SimError::NoSuchProcess(parent));
+        }
+        if self.trace.root_image().is_empty() {
+            self.trace = Trace::new(image);
+        }
+        Ok(self.spawn(image, parent, false))
+    }
+
+    /// Creates a process record, optionally suspended, and (if runnable)
+    /// queues it. Auto-inject hooks are installed before the process ever
+    /// runs. Returns 0 if the process cap is reached.
+    pub fn spawn(&mut self, image: &str, parent: Pid, suspended: bool) -> Pid {
+        if self.created >= self.max_processes {
+            return 0;
+        }
+        self.created += 1;
+        let pid = self.alloc_pid();
+        let peb =
+            Peb { being_debugged: false, number_of_processors: self.sys.hardware.num_cores };
+        let path = format!("{}\\{}", self.sys.config.download_dir, image);
+        let mut p = Process::new(pid, parent, image, &path, peb);
+        if suspended {
+            p.state = ProcState::Suspended;
+        }
+        self.procs.insert(pid, p);
+        let inject: Vec<_> = self.autoinject.clone();
+        for (api, hook) in inject {
+            self.install_hook(pid, api, hook);
+        }
+        self.record(
+            pid,
+            EventKind::ProcessCreate { pid, parent, image: image.to_owned() },
+        );
+        if !suspended {
+            self.queue.push_back(pid);
+        }
+        pid
+    }
+
+    /// Runs queued processes until the queue drains, the virtual-time
+    /// budget is exhausted, or the process cap is hit.
+    pub fn run(&mut self) {
+        while let Some(pid) = self.queue.pop_front() {
+            if self.sys.clock.now_ms() >= self.budget_ms {
+                break;
+            }
+            let (image, runnable) = match self.procs.get(&pid) {
+                Some(p) if p.state == ProcState::Running => (p.image.clone(), true),
+                _ => (String::new(), false),
+            };
+            if !runnable {
+                continue;
+            }
+            if let Some(prog) = self.programs.get(&image.to_ascii_lowercase()).cloned() {
+                let mut ctx = ProcessCtx::new(self, pid);
+                prog.run(&mut ctx);
+            }
+            self.finish_process(pid, 0);
+        }
+    }
+
+    /// Convenience: launch + run + hand back the trace (leaving the machine
+    /// inspectable).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Machine::launch`] errors.
+    pub fn run_sample(&mut self, image: &str) -> Result<&Trace, SimError> {
+        self.launch(image)?;
+        self.run();
+        Ok(&self.trace)
+    }
+
+    /// The trace recorded so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Names the trace's root image if it has none yet (controllers that
+    /// bypass [`Machine::launch`] call this before spawning the sample).
+    pub fn set_trace_root(&mut self, image: &str) {
+        if self.trace.root_image().is_empty() {
+            self.trace = Trace::new(image);
+        }
+    }
+
+    /// Takes the trace, leaving an empty one with the same root.
+    pub fn take_trace(&mut self) -> Trace {
+        let root = self.trace.root_image().to_owned();
+        std::mem::replace(&mut self.trace, Trace::new(root))
+    }
+
+    /// A process by pid.
+    pub fn process(&self, pid: Pid) -> Option<&Process> {
+        self.procs.get(&pid)
+    }
+
+    /// Mutable process access (used by the injection engine).
+    pub fn process_mut(&mut self, pid: Pid) -> Option<&mut Process> {
+        self.procs.get_mut(&pid)
+    }
+
+    /// The first live process with the given image name.
+    pub fn find_process(&self, image: &str) -> Option<&Process> {
+        self.procs
+            .values()
+            .find(|p| p.state != ProcState::Terminated && p.image.eq_ignore_ascii_case(image))
+    }
+
+    /// All process records (including terminated ones).
+    pub fn processes(&self) -> impl Iterator<Item = &Process> {
+        self.procs.values()
+    }
+
+    /// Installs an inline hook on `api` in process `pid`: the hook is
+    /// appended to the chain (outermost first) and the API's prologue bytes
+    /// become a `JMP` — visible to anti-hook checks, exactly as in the
+    /// paper's Figure 1.
+    pub fn install_hook(&mut self, pid: Pid, api: Api, hook: Arc<dyn ApiHook>) {
+        if let Some(p) = self.procs.get_mut(&pid) {
+            p.hooks.entry(api).or_default().push(hook);
+            p.prologues.insert(api, HOOKED_PROLOGUE);
+        }
+    }
+
+    /// Removes all hooks with the given label from `api` in `pid`,
+    /// restoring the clean prologue if the chain empties. Returns how many
+    /// hooks were removed.
+    pub fn uninstall_hooks(&mut self, pid: Pid, api: Api, label: &str) -> usize {
+        let Some(p) = self.procs.get_mut(&pid) else { return 0 };
+        let Some(chain) = p.hooks.get_mut(&api) else { return 0 };
+        let before = chain.len();
+        chain.retain(|h| h.label() != label);
+        let removed = before - chain.len();
+        if chain.is_empty() {
+            p.hooks.remove(&api);
+            p.prologues.remove(&api);
+        }
+        removed
+    }
+
+    /// Dispatches an API call from process `pid` through its hook chain.
+    ///
+    /// Every call charges virtual time; terminated processes get
+    /// `STATUS_UNSUCCESSFUL` back (their calls go nowhere).
+    pub fn call_api(&mut self, pid: Pid, api: Api, args: Args) -> Value {
+        self.sys.clock.charge_api_call();
+        if self.sys.clock.now_ms() >= self.budget_ms {
+            // the paper's harness kills the sample when its one-minute
+            // analysis window closes; packers that stall past the window
+            // are cut off exactly as on the real cluster
+            self.finish_process(pid, 258 /* WAIT_TIMEOUT */);
+            return Value::Status(NtStatus::Unsuccessful);
+        }
+        let chain = match self.procs.get(&pid) {
+            Some(p) if p.state == ProcState::Running => {
+                p.hooks.get(&api).cloned().unwrap_or_default()
+            }
+            _ => return Value::Status(NtStatus::Unsuccessful),
+        };
+        let mut call = ApiCall { api, args, pid, machine: self, chain, idx: 0 };
+        call.call_original()
+    }
+
+    /// Resumes a suspended process so the scheduler will run it (what
+    /// `ResumeThread` on its main thread does). Returns whether the process
+    /// was suspended.
+    pub fn resume(&mut self, pid: Pid) -> bool {
+        match self.procs.get_mut(&pid) {
+            Some(p) if p.state == ProcState::Suspended => {
+                p.state = ProcState::Running;
+                self.queue.push_back(pid);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Marks a process terminated and records the event (idempotent).
+    pub fn finish_process(&mut self, pid: Pid, exit_code: i32) {
+        let Some(p) = self.procs.get_mut(&pid) else { return };
+        if p.state == ProcState::Terminated {
+            return;
+        }
+        p.state = ProcState::Terminated;
+        p.exit_code = exit_code;
+        let image = p.image.clone();
+        self.record(pid, EventKind::ProcessTerminate { pid, image, exit_code });
+    }
+
+    /// Appends an entry to a live Toolhelp32 snapshot (used by deception
+    /// hooks to plant analysis-tool processes into enumerations).
+    /// Returns whether the handle was valid.
+    pub fn snapshot_append(&mut self, handle: u64, image: &str) -> bool {
+        match self.snapshots.get_mut(&handle) {
+            Some((images, _)) => {
+                if !images.iter().any(|i| i.eq_ignore_ascii_case(image)) {
+                    images.push(image.to_owned());
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Records a trace event at the current virtual time.
+    pub fn record(&mut self, pid: Pid, kind: EventKind) {
+        let time = self.sys.clock.now_ms();
+        self.trace.record(Event::at(time, pid, kind));
+    }
+
+    fn alloc_pid(&mut self) -> Pid {
+        let pid = self.next_pid;
+        self.next_pid += 4;
+        pid
+    }
+
+    /// The default (unhooked) implementation of every API.
+    ///
+    /// This is what a hook's `call_original` bottoms out in; it consults and
+    /// mutates system state and emits kernel trace events.
+    pub(crate) fn default_api(machine: &mut Machine, pid: Pid, api: Api, args: Args) -> Value {
+        let m = machine;
+        match api {
+            // ---------- registry ----------
+            Api::RegOpenKeyEx | Api::NtOpenKeyEx => {
+                let path = args.str(0).to_owned();
+                let status = m.sys.registry.open_key(&path);
+                m.record(pid, EventKind::Registry { op: RegOp::OpenKey, path });
+                Value::Status(status)
+            }
+            Api::RegQueryValueEx | Api::NtQueryValueKey => {
+                let path = args.str(0).to_owned();
+                let name = args.str(1).to_owned();
+                let out = match m.sys.registry.value(&path, &name) {
+                    Some(v) => reg_to_value(v),
+                    None => Value::Status(NtStatus::ObjectNameNotFound),
+                };
+                m.record(
+                    pid,
+                    EventKind::Registry { op: RegOp::QueryValue, path: format!("{path}\\{name}") },
+                );
+                out
+            }
+            Api::RegSetValueEx => {
+                let path = args.str(0).to_owned();
+                let name = args.str(1).to_owned();
+                let value = value_to_reg(args.get(2).cloned().unwrap_or(Value::Unit));
+                m.sys.registry.set_value(&path, &name, value);
+                m.record(
+                    pid,
+                    EventKind::Registry { op: RegOp::SetValue, path: format!("{path}\\{name}") },
+                );
+                Value::Status(NtStatus::Success)
+            }
+            Api::RegCreateKeyEx => {
+                let path = args.str(0).to_owned();
+                m.sys.registry.create_key(&path);
+                m.record(pid, EventKind::Registry { op: RegOp::CreateKey, path });
+                Value::Status(NtStatus::Success)
+            }
+            Api::RegDeleteKey => {
+                let path = args.str(0).to_owned();
+                let removed = m.sys.registry.delete_key(&path);
+                m.record(pid, EventKind::Registry { op: RegOp::DeleteKey, path });
+                if removed > 0 {
+                    Value::Status(NtStatus::Success)
+                } else {
+                    Value::Status(NtStatus::ObjectNameNotFound)
+                }
+            }
+            Api::RegEnumKeyEx => {
+                let path = args.str(0);
+                let index = args.u64(1) as usize;
+                let subkeys = m.sys.registry.subkeys(path);
+                match subkeys.get(index) {
+                    Some(name) => Value::Str(name.clone()),
+                    None => Value::Status(NtStatus::NoMoreEntries),
+                }
+            }
+            Api::NtQueryKey => {
+                let path = args.str(0).to_owned();
+                let what = args.str(1).to_owned();
+                if !m.sys.registry.key_exists(&path) {
+                    return Value::Status(NtStatus::ObjectNameNotFound);
+                }
+                let count = match what.as_str() {
+                    "values" => m.sys.registry.value_count(&path),
+                    _ => m.sys.registry.subkey_count(&path),
+                };
+                m.record(pid, EventKind::Registry { op: RegOp::QueryValue, path });
+                Value::U64(count as u64)
+            }
+
+            // ---------- files ----------
+            Api::NtQueryAttributesFile => {
+                let path = args.str(0).to_owned();
+                let status = m.sys.fs.query_attributes(&path);
+                m.record(pid, EventKind::FileRead { path });
+                Value::Status(status)
+            }
+            Api::GetFileAttributes => {
+                let path = args.str(0).to_owned();
+                let out = if m.sys.fs.exists(&path) {
+                    Value::U64(0x80) // FILE_ATTRIBUTE_NORMAL
+                } else if m.sys.fs.dir_exists(&path) {
+                    Value::U64(0x10) // FILE_ATTRIBUTE_DIRECTORY
+                } else {
+                    Value::U64(0xFFFF_FFFF) // INVALID_FILE_ATTRIBUTES
+                };
+                m.record(pid, EventKind::FileRead { path });
+                out
+            }
+            Api::NtCreateFile | Api::CreateFile => {
+                let path = args.str(0).to_owned();
+                let create = args.str(1) == "create";
+                if let Some(device) = path.strip_prefix(r"\\.\") {
+                    let ok = m.sys.hardware.has_device(device);
+                    m.record(pid, EventKind::FileRead { path });
+                    return Value::Status(if ok {
+                        NtStatus::Success
+                    } else {
+                        NtStatus::ObjectNameNotFound
+                    });
+                }
+                if create {
+                    m.sys.fs.create(&path, 0, "created");
+                    m.record(pid, EventKind::FileCreate { path });
+                    Value::Status(NtStatus::Success)
+                } else {
+                    let status = m.sys.fs.query_attributes(&path);
+                    m.record(pid, EventKind::FileRead { path });
+                    Value::Status(status)
+                }
+            }
+            Api::ReadFile => {
+                let path = args.str(0).to_owned();
+                let ok = m.sys.fs.exists(&path);
+                m.record(pid, EventKind::FileRead { path });
+                Value::Status(if ok { NtStatus::Success } else { NtStatus::ObjectNameNotFound })
+            }
+            Api::WriteFile => {
+                let path = args.str(0).to_owned();
+                let bytes = args.u64(1).max(1);
+                m.sys.fs.write(&path, bytes);
+                m.record(pid, EventKind::FileWrite { path, bytes });
+                Value::Status(NtStatus::Success)
+            }
+            Api::DeleteFile => {
+                let path = args.str(0).to_owned();
+                let ok = m.sys.fs.delete(&path);
+                m.record(pid, EventKind::FileDelete { path });
+                Value::Bool(ok)
+            }
+            Api::MoveFile => {
+                let from = args.str(0).to_owned();
+                let to = args.str(1).to_owned();
+                let ok = m.sys.fs.rename(&from, &to);
+                if ok {
+                    m.record(pid, EventKind::FileRename { from, to });
+                }
+                Value::Bool(ok)
+            }
+            Api::FindFirstFile => {
+                let pattern = args.str(0);
+                let matches = glob_files(&m.sys, pattern);
+                Value::List(matches.into_iter().map(Value::Str).collect())
+            }
+            Api::GetDiskFreeSpaceEx => {
+                m.record(pid, EventKind::InfoQuery { what: "GetDiskFreeSpaceEx".to_owned() });
+                let root = args.str(0).chars().next().unwrap_or('C');
+                match m.sys.fs.drive(root) {
+                    Some(d) => {
+                        Value::List(vec![Value::U64(d.total_bytes), Value::U64(d.free_bytes)])
+                    }
+                    None => Value::Status(NtStatus::ObjectNameNotFound),
+                }
+            }
+
+            // ---------- processes & debugging ----------
+            Api::CreateProcess | Api::ShellExecuteEx => {
+                let image = args.str(0).to_owned();
+                let suspended = args.bool(1);
+                let child = m.spawn(&image, pid, suspended);
+                Value::U64(u64::from(child))
+            }
+            Api::OpenProcess => {
+                let image = args.str(0);
+                match m.find_process(image) {
+                    Some(p) => Value::U64(u64::from(p.pid)),
+                    None => Value::U64(0),
+                }
+            }
+            Api::TerminateProcess => {
+                let target = args.u64(0) as Pid;
+                if m.procs.contains_key(&target) {
+                    m.finish_process(target, 1);
+                    Value::Bool(true)
+                } else {
+                    Value::Bool(false)
+                }
+            }
+            Api::ExitProcess => {
+                let code = args.get(0).and_then(Value::as_i64).unwrap_or(0) as i32;
+                m.finish_process(pid, code);
+                Value::Unit
+            }
+            Api::ResumeThread => {
+                let target = args.u64(0) as Pid;
+                if let Some(p) = m.procs.get_mut(&target) {
+                    if p.state == ProcState::Suspended {
+                        p.state = ProcState::Running;
+                        m.queue.push_back(target);
+                        return Value::Bool(true);
+                    }
+                }
+                Value::Bool(false)
+            }
+            Api::Sleep => {
+                let ms = args.u64(0);
+                m.sys.clock.advance(ms);
+                Value::Unit
+            }
+            Api::GetTickCount => {
+                m.record(pid, EventKind::InfoQuery { what: "GetTickCount".to_owned() });
+                Value::U64(m.sys.clock.tick_count())
+            }
+            Api::IsDebuggerPresent | Api::CheckRemoteDebuggerPresent => {
+                let v = m.procs.get(&pid).map(|p| p.peb.being_debugged).unwrap_or(false);
+                m.record(pid, EventKind::DebugQuery { api: api.name().to_owned() });
+                Value::Bool(v)
+            }
+            Api::NtQueryInformationProcess => {
+                let class = args.str(0);
+                let p = match m.procs.get(&pid) {
+                    Some(p) => p,
+                    None => return Value::Status(NtStatus::Unsuccessful),
+                };
+                match class {
+                    "DebugPort" => {
+                        let v = u64::from(p.peb.being_debugged);
+                        m.record(
+                            pid,
+                            EventKind::DebugQuery { api: "NtQueryInformationProcess".to_owned() },
+                        );
+                        Value::U64(v)
+                    }
+                    "ParentPid" => Value::U64(u64::from(p.parent)),
+                    "ParentImage" => {
+                        let img = m
+                            .procs
+                            .get(&p.parent)
+                            .map(|pp| pp.image.clone())
+                            .unwrap_or_default();
+                        Value::Str(img)
+                    }
+                    _ => Value::Status(NtStatus::InvalidParameter),
+                }
+            }
+            Api::OutputDebugString => {
+                let v = m.procs.get(&pid).map(|p| p.peb.being_debugged).unwrap_or(false);
+                Value::Bool(v)
+            }
+            Api::CloseHandle => {
+                // Closing the canonical invalid handle raises an exception
+                // under a debugger; otherwise it just fails quietly.
+                let handle = args.u64(0);
+                Value::Bool(handle != 0xDEAD_BEEF)
+            }
+            Api::EnumProcesses => {
+                let list: Vec<Value> = m
+                    .procs
+                    .values()
+                    .filter(|p| p.state != ProcState::Terminated)
+                    .map(|p| Value::Str(p.image.clone()))
+                    .collect();
+                Value::List(list)
+            }
+            Api::GetCurrentProcessId => Value::U64(u64::from(pid)),
+            Api::CreateToolhelp32Snapshot => {
+                let images: Vec<String> = m
+                    .procs
+                    .values()
+                    .filter(|p| p.state != ProcState::Terminated)
+                    .map(|p| p.image.clone())
+                    .collect();
+                let handle = m.next_snapshot;
+                m.next_snapshot += 4;
+                m.snapshots.insert(handle, (images, 0));
+                Value::U64(handle)
+            }
+            Api::Process32Next => {
+                let handle = args.u64(0);
+                match m.snapshots.get_mut(&handle) {
+                    Some((images, cursor)) => match images.get(*cursor) {
+                        Some(image) => {
+                            let image = image.clone();
+                            *cursor += 1;
+                            Value::Str(image)
+                        }
+                        None => Value::Status(NtStatus::NoMoreEntries),
+                    },
+                    None => Value::Status(NtStatus::InvalidHandle),
+                }
+            }
+            Api::WriteProcessMemory => {
+                let target = args.u64(0) as Pid;
+                match m.procs.get(&target) {
+                    Some(t) => {
+                        let target_image = t.image.clone();
+                        m.record(
+                            pid,
+                            EventKind::ProcessInject { source: pid, target, target_image },
+                        );
+                        Value::Bool(true)
+                    }
+                    None => Value::Bool(false),
+                }
+            }
+
+            // ---------- modules ----------
+            Api::GetModuleHandle => {
+                let name = args.str(0).to_owned();
+                let loaded =
+                    m.procs.get(&pid).map(|p| p.module_loaded(&name)).unwrap_or(false);
+                m.record(pid, EventKind::ModuleQuery { name });
+                Value::U64(if loaded { 0x1000_0000 } else { 0 })
+            }
+            Api::LoadLibrary => {
+                let name = args.str(0).to_owned();
+                if !m.sys.dll_available(&name) {
+                    m.record(pid, EventKind::ModuleQuery { name });
+                    return Value::U64(0);
+                }
+                if let Some(p) = m.procs.get_mut(&pid) {
+                    if p.load_module(&name) {
+                        m.record(pid, EventKind::ImageLoad { pid, image: name });
+                    }
+                    Value::U64(0x1000_0000)
+                } else {
+                    Value::U64(0)
+                }
+            }
+            Api::EnumModules => {
+                let list = m
+                    .procs
+                    .get(&pid)
+                    .map(|p| p.modules.iter().map(|s| Value::Str(s.clone())).collect())
+                    .unwrap_or_default();
+                Value::List(list)
+            }
+            Api::GetModuleFileName => {
+                let path =
+                    m.procs.get(&pid).map(|p| p.image_path.clone()).unwrap_or_default();
+                Value::Str(path)
+            }
+            Api::GetProcAddress => {
+                let module = args.str(0);
+                let proc = args.str(1);
+                Value::U64(if m.sys.has_export(module, proc) { 0x2000_0000 } else { 0 })
+            }
+
+            // ---------- system information ----------
+            Api::GetSystemInfo => {
+                m.record(pid, EventKind::InfoQuery { what: "GetSystemInfo".to_owned() });
+                Value::U64(u64::from(m.sys.hardware.num_cores))
+            }
+            Api::GlobalMemoryStatusEx => {
+                m.record(pid, EventKind::InfoQuery { what: "GlobalMemoryStatusEx".to_owned() });
+                Value::U64(m.sys.hardware.memory_mb)
+            }
+            Api::NtQuerySystemInformation => {
+                let class = args.str(0);
+                match class {
+                    "ProcessInformation" => {
+                        let list: Vec<Value> = m
+                            .procs
+                            .values()
+                            .filter(|p| p.state != ProcState::Terminated)
+                            .map(|p| Value::Str(p.image.clone()))
+                            .collect();
+                        Value::List(list)
+                    }
+                    "RegistryQuota" => Value::U64(m.sys.registry.quota_used_bytes()),
+                    "KernelDebugger" => Value::Bool(false),
+                    _ => Value::Status(NtStatus::InvalidParameter),
+                }
+            }
+            Api::GetUserName => Value::Str(m.sys.config.user_name.clone()),
+            Api::GetComputerName => Value::Str(m.sys.config.computer_name.clone()),
+            Api::GetCursorPos => {
+                let (x, y) = m.sys.input.cursor_at(m.sys.clock.now_ms());
+                Value::List(vec![Value::I64(i64::from(x)), Value::I64(i64::from(y))])
+            }
+            Api::GetAdaptersInfo => Value::Str(m.sys.hardware.mac_string()),
+            Api::IsNativeVhdBoot => {
+                if m.sys.config.os >= OsVersion::Win8 {
+                    Value::Bool(false)
+                } else {
+                    Value::Status(NtStatus::Unsuccessful) // API absent on Win7
+                }
+            }
+            Api::GetKeyState => Value::I64(0),
+
+            // ---------- GUI ----------
+            Api::FindWindow => {
+                let class = args.str(0).to_owned();
+                let title = args.str(1).to_owned();
+                let found = m.sys.windows.find(&class, &title);
+                m.record(pid, EventKind::WindowQuery { class, title });
+                Value::Bool(found)
+            }
+
+            // ---------- network ----------
+            Api::DnsQuery => {
+                let domain = args.str(0).to_owned();
+                let resolved = m.sys.network.resolve(&domain);
+                m.record(
+                    pid,
+                    EventKind::DnsQuery {
+                        domain,
+                        resolved: resolved.map(fmt_addr),
+                    },
+                );
+                match resolved {
+                    Some(addr) => Value::Str(fmt_addr(addr)),
+                    None => Value::Status(NtStatus::ObjectNameNotFound),
+                }
+            }
+            Api::InternetOpenUrl => {
+                let host = args.str(0).to_owned();
+                let status = m.sys.network.http_get(&host);
+                m.record(pid, EventKind::HttpRequest { host, status });
+                match status {
+                    Some(code) => Value::U64(u64::from(code)),
+                    None => Value::U64(0),
+                }
+            }
+            Api::DnsGetCacheDataTable => {
+                let list: Vec<Value> = m
+                    .sys
+                    .network
+                    .dns_cache()
+                    .iter()
+                    .map(|e| Value::Str(e.domain.clone()))
+                    .collect();
+                Value::List(list)
+            }
+
+            // ---------- event log / sync ----------
+            Api::EvtNext => {
+                let limit = args.u64(0) as usize;
+                let list: Vec<Value> = m
+                    .sys
+                    .eventlog
+                    .recent(limit)
+                    .iter()
+                    .map(|e| Value::Str(e.source.clone()))
+                    .collect();
+                Value::List(list)
+            }
+            Api::RaiseException => {
+                let cycles = m.sys.hardware.exception_dispatch_cycles;
+                m.sys.hardware.rdtsc(); // dispatching consumes time
+                Value::U64(cycles)
+            }
+            Api::CreateMutex => {
+                let name = args.str(0).to_owned();
+                let existed = !m.sys.mutexes.insert(name.clone());
+                if !existed {
+                    m.record(pid, EventKind::MutexCreate { name });
+                }
+                Value::U64(if existed { 2 } else { 1 })
+            }
+        }
+    }
+}
+
+fn fmt_addr(a: [u8; 4]) -> String {
+    format!("{}.{}.{}.{}", a[0], a[1], a[2], a[3])
+}
+
+fn reg_to_value(v: &RegValue) -> Value {
+    match v {
+        RegValue::Sz(s) => Value::Str(s.clone()),
+        RegValue::Dword(d) => Value::U64(u64::from(*d)),
+        RegValue::Qword(q) => Value::U64(*q),
+        RegValue::Binary(b) => Value::Bytes(b.clone()),
+        RegValue::MultiSz(l) => Value::List(l.iter().map(|s| Value::Str(s.clone())).collect()),
+    }
+}
+
+fn value_to_reg(v: Value) -> RegValue {
+    match v {
+        Value::Str(s) => RegValue::Sz(s),
+        Value::U64(u) => RegValue::Qword(u),
+        Value::I64(i) => RegValue::Qword(i as u64),
+        Value::Bool(b) => RegValue::Dword(u32::from(b)),
+        Value::Bytes(b) => RegValue::Binary(b),
+        Value::List(l) => RegValue::MultiSz(
+            l.into_iter().map(|v| v.as_str().unwrap_or("").to_owned()).collect(),
+        ),
+        _ => RegValue::Dword(0),
+    }
+}
+
+/// Minimal `prefix*suffix` glob over file paths.
+fn glob_files(sys: &System, pattern: &str) -> Vec<String> {
+    let p = pattern.to_ascii_lowercase().replace('/', "\\");
+    let (prefix, suffix) = match p.split_once('*') {
+        Some((a, b)) => (a.to_owned(), b.to_owned()),
+        None => (p.clone(), String::new()),
+    };
+    sys.fs
+        .iter()
+        .filter(|f| {
+            let low = f.path.to_ascii_lowercase();
+            low.starts_with(&prefix) && low.ends_with(&suffix)
+        })
+        .map(|f| f.path.clone())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args;
+
+    struct Touch;
+    impl Program for Touch {
+        fn image_name(&self) -> &str {
+            "touch.exe"
+        }
+        fn run(&self, ctx: &mut ProcessCtx<'_>) {
+            ctx.call(Api::WriteFile, args![r"C:\out.txt", 16u64]);
+        }
+    }
+
+    struct Spawner;
+    impl Program for Spawner {
+        fn image_name(&self) -> &str {
+            "spawner.exe"
+        }
+        fn run(&self, ctx: &mut ProcessCtx<'_>) {
+            ctx.call(Api::CreateProcess, args!["touch.exe"]);
+        }
+    }
+
+    fn machine() -> Machine {
+        Machine::new(System::new())
+    }
+
+    #[test]
+    fn launch_requires_registered_program() {
+        let mut m = machine();
+        assert!(matches!(m.launch("ghost.exe"), Err(SimError::UnknownImage(_))));
+    }
+
+    #[test]
+    fn program_runs_and_mutates_fs() {
+        let mut m = machine();
+        m.register_program(Arc::new(Touch));
+        m.run_sample("touch.exe").unwrap();
+        assert!(m.system().fs.exists(r"C:\out.txt"));
+        let tags: Vec<_> = m.trace().events().iter().map(|e| e.kind.tag()).collect();
+        assert!(tags.contains(&"proc_create"));
+        assert!(tags.contains(&"file_write"));
+        assert!(tags.contains(&"proc_term"));
+    }
+
+    #[test]
+    fn spawned_children_run_too() {
+        let mut m = machine();
+        m.register_program(Arc::new(Spawner));
+        m.register_program(Arc::new(Touch));
+        m.run_sample("spawner.exe").unwrap();
+        assert!(m.system().fs.exists(r"C:\out.txt"));
+    }
+
+    #[test]
+    fn unknown_child_images_become_inert_stubs() {
+        let mut m = machine();
+        m.register_program(Arc::new(Spawner));
+        m.launch("spawner.exe").unwrap();
+        // retarget: spawner spawns touch.exe which is not registered here
+        m.run();
+        // the child appears in the process table and trace, but did nothing
+        assert!(m.find_process("touch.exe").is_none()); // ran to termination
+        assert!(m
+            .trace()
+            .events()
+            .iter()
+            .any(|e| matches!(&e.kind, EventKind::ProcessCreate { image, .. } if image == "touch.exe")));
+    }
+
+    #[test]
+    fn budget_stops_the_scheduler() {
+        struct Forever;
+        impl Program for Forever {
+            fn image_name(&self) -> &str {
+                "forever.exe"
+            }
+            fn run(&self, ctx: &mut ProcessCtx<'_>) {
+                ctx.call(Api::Sleep, args![30_000u64]);
+                ctx.call(Api::CreateProcess, args!["forever.exe"]);
+            }
+        }
+        let mut m = machine();
+        m.register_program(Arc::new(Forever));
+        m.run_sample("forever.exe").unwrap();
+        // 60s budget / 30s sleep => only a couple of generations ran
+        assert!(m.trace().self_spawn_count() <= 3);
+    }
+
+    #[test]
+    fn process_cap_stops_forkbombs() {
+        struct Bomb;
+        impl Program for Bomb {
+            fn image_name(&self) -> &str {
+                "bomb.exe"
+            }
+            fn run(&self, ctx: &mut ProcessCtx<'_>) {
+                ctx.call(Api::CreateProcess, args!["bomb.exe"]);
+                ctx.call(Api::CreateProcess, args!["bomb.exe"]);
+            }
+        }
+        let mut m = machine();
+        m.max_processes = 50;
+        m.register_program(Arc::new(Bomb));
+        m.run_sample("bomb.exe").unwrap();
+        assert!(m.processes().count() <= 60);
+    }
+
+    #[test]
+    fn suspended_processes_wait_for_resume() {
+        let mut m = machine();
+        m.register_program(Arc::new(Touch));
+        let pid = m.spawn("touch.exe", m.explorer_pid(), true);
+        m.run();
+        assert!(!m.system().fs.exists(r"C:\out.txt"));
+        let r = m.call_api(pid, Api::ResumeThread, args![u64::from(pid)]);
+        // ResumeThread is called *by* someone; use explorer as the caller
+        assert_eq!(r, Value::Status(NtStatus::Unsuccessful)); // suspended procs can't call
+        let explorer = m.explorer_pid();
+        let r = m.call_api(explorer, Api::ResumeThread, args![u64::from(pid)]);
+        assert_eq!(r, Value::Bool(true));
+        m.run();
+        assert!(m.system().fs.exists(r"C:\out.txt"));
+    }
+
+    #[test]
+    fn hooks_intercept_and_can_fabricate() {
+        let mut m = machine();
+        m.register_program(Arc::new(Touch));
+        let pid = m.launch("touch.exe").unwrap();
+        m.install_hook(
+            pid,
+            Api::IsDebuggerPresent,
+            Arc::new(|_c: &mut ApiCall<'_>| Value::Bool(true)),
+        );
+        let v = m.call_api(pid, Api::IsDebuggerPresent, Args::none());
+        assert_eq!(v, Value::Bool(true));
+        // prologue now shows the JMP patch
+        assert_eq!(m.process(pid).unwrap().api_prologue(Api::IsDebuggerPresent)[0], 0xe9);
+        // other APIs untouched
+        assert_eq!(m.process(pid).unwrap().api_prologue(Api::Sleep)[0], 0x8b);
+    }
+
+    #[test]
+    fn call_original_reaches_the_default_impl() {
+        struct PassThrough;
+        impl ApiHook for PassThrough {
+            fn label(&self) -> &str {
+                "pass"
+            }
+            fn invoke(&self, call: &mut ApiCall<'_>) -> Value {
+                call.call_original()
+            }
+        }
+        let mut m = machine();
+        m.register_program(Arc::new(Touch));
+        let pid = m.launch("touch.exe").unwrap();
+        m.install_hook(pid, Api::GetTickCount, Arc::new(PassThrough));
+        let v = m.call_api(pid, Api::GetTickCount, Args::none());
+        assert!(v.as_u64().unwrap() > 0);
+    }
+
+    #[test]
+    fn uninstall_restores_prologue() {
+        let mut m = machine();
+        m.register_program(Arc::new(Touch));
+        let pid = m.launch("touch.exe").unwrap();
+        struct H;
+        impl ApiHook for H {
+            fn label(&self) -> &str {
+                "scarecrow"
+            }
+            fn invoke(&self, _call: &mut ApiCall<'_>) -> Value {
+                Value::Bool(true)
+            }
+        }
+        m.install_hook(pid, Api::IsDebuggerPresent, Arc::new(H));
+        assert_eq!(m.uninstall_hooks(pid, Api::IsDebuggerPresent, "scarecrow"), 1);
+        assert_eq!(m.process(pid).unwrap().api_prologue(Api::IsDebuggerPresent)[0], 0x8b);
+    }
+
+    #[test]
+    fn autoinject_applies_to_every_new_process() {
+        let mut m = machine();
+        m.add_autoinject_hook(
+            Api::ShellExecuteEx,
+            Arc::new(|c: &mut ApiCall<'_>| c.call_original()),
+        );
+        m.register_program(Arc::new(Touch));
+        let pid = m.launch("touch.exe").unwrap();
+        assert!(m.process(pid).unwrap().api_hooked(Api::ShellExecuteEx));
+    }
+
+    #[test]
+    fn terminate_prevents_queued_process_from_running() {
+        let mut m = machine();
+        m.register_program(Arc::new(Touch));
+        let pid = m.launch("touch.exe").unwrap();
+        m.finish_process(pid, 9);
+        m.run();
+        assert!(!m.system().fs.exists(r"C:\out.txt"));
+    }
+
+    #[test]
+    fn registry_apis_round_trip() {
+        let mut m = machine();
+        let pid = m.add_system_process("t.exe");
+        m.call_api(pid, Api::RegCreateKeyEx, args![r"HKLM\SOFTWARE\Test"]);
+        m.call_api(pid, Api::RegSetValueEx, args![r"HKLM\SOFTWARE\Test", "v", "data"]);
+        let v = m.call_api(pid, Api::RegQueryValueEx, args![r"HKLM\SOFTWARE\Test", "v"]);
+        assert_eq!(v.as_str(), Some("data"));
+        let missing = m.call_api(pid, Api::RegQueryValueEx, args![r"HKLM\SOFTWARE\Test", "w"]);
+        assert_eq!(missing.as_status(), NtStatus::ObjectNameNotFound);
+    }
+
+    #[test]
+    fn device_opens_consult_hardware() {
+        let mut m = machine();
+        m.system_mut().hardware.devices.push("VBoxGuest".into());
+        let pid = m.add_system_process("t.exe");
+        let ok = m.call_api(pid, Api::CreateFile, args![r"\\.\VBoxGuest", "open"]);
+        assert_eq!(ok.as_status(), NtStatus::Success);
+        let bad = m.call_api(pid, Api::CreateFile, args![r"\\.\HGFS", "open"]);
+        assert_eq!(bad.as_status(), NtStatus::ObjectNameNotFound);
+    }
+
+    #[test]
+    fn glob_matches_prefix_and_suffix() {
+        let mut m = machine();
+        m.system_mut().fs.create(r"C:\a\x.sys", 1, "t");
+        m.system_mut().fs.create(r"C:\a\y.txt", 1, "t");
+        let pid = m.add_system_process("t.exe");
+        let v = m.call_api(pid, Api::FindFirstFile, args![r"C:\a\*.sys"]);
+        assert_eq!(v.as_list().unwrap().len(), 1);
+    }
+}

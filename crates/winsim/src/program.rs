@@ -1,0 +1,201 @@
+//! The [`Program`] trait and the per-process execution context.
+//!
+//! Malware samples, benign applications, Pafish, and the wear-and-tear
+//! probe are all `Program`s: synchronous bodies that interact with the
+//! machine exclusively through [`ProcessCtx`]. The context exposes two
+//! classes of primitives:
+//!
+//! * **API calls** ([`ProcessCtx::call`]) — routed through the per-process
+//!   hook chain, interceptable by Scarecrow;
+//! * **direct memory / instruction reads** ([`ProcessCtx::peb`],
+//!   [`ProcessCtx::rdtsc`], [`ProcessCtx::cpuid`],
+//!   [`ProcessCtx::read_api_prologue`]) — *not* interceptable, reproducing
+//!   the paper's limitation that "some malware can directly read from
+//!   memory without using APIs to fingerprint the running system".
+
+use crate::api::{Api, PROLOGUE_LEN};
+use crate::machine::Machine;
+use crate::process::{Peb, Pid, ProcState};
+use crate::values::{Args, Value};
+
+/// A runnable program image.
+///
+/// Implementations must be deterministic given the machine state: the whole
+/// simulation is single-threaded and replayable.
+pub trait Program: Send + Sync {
+    /// The executable file name this program runs as (e.g. `sample.exe`).
+    fn image_name(&self) -> &str;
+
+    /// The program body. Called once when the scheduler runs the process.
+    ///
+    /// The body should return promptly after calling
+    /// `ctx.call(Api::ExitProcess, …)` (checked via [`ProcessCtx::exited`]);
+    /// the scheduler marks the process terminated either way when the body
+    /// returns.
+    fn run(&self, ctx: &mut ProcessCtx<'_>);
+}
+
+/// Execution context handed to a running [`Program`].
+pub struct ProcessCtx<'m> {
+    machine: &'m mut Machine,
+    pid: Pid,
+}
+
+impl<'m> ProcessCtx<'m> {
+    /// Creates a context for `pid` (used by the scheduler and by tests that
+    /// drive a process manually).
+    pub fn new(machine: &'m mut Machine, pid: Pid) -> Self {
+        ProcessCtx { machine, pid }
+    }
+
+    /// The running process's pid.
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    /// The running process's image name.
+    pub fn image(&self) -> String {
+        self.machine.process(self.pid).map(|p| p.image.clone()).unwrap_or_default()
+    }
+
+    /// Issues an API call through the hook chain.
+    pub fn call(&mut self, api: Api, args: Args) -> Value {
+        self.machine.call_api(self.pid, api, args)
+    }
+
+    /// Whether this process has exited (via `ExitProcess` or termination).
+    pub fn exited(&self) -> bool {
+        self.machine
+            .process(self.pid)
+            .map(|p| p.state == ProcState::Terminated)
+            .unwrap_or(true)
+    }
+
+    /// Reads the PEB **directly from process memory** — no API, no hooks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the process no longer exists (scheduler invariant).
+    pub fn peb(&self) -> Peb {
+        self.machine.process(self.pid).expect("running process exists").peb
+    }
+
+    /// Reads the first bytes of an API's code, as an anti-hooking check
+    /// does (Figure 1 of the paper). Unhookable.
+    pub fn read_api_prologue(&self, api: Api) -> [u8; PROLOGUE_LEN] {
+        self.machine
+            .process(self.pid)
+            .expect("running process exists")
+            .api_prologue(api)
+    }
+
+    /// Executes the RDTSC instruction. Unhookable.
+    pub fn rdtsc(&mut self) -> u64 {
+        self.machine.system_mut().hardware.rdtsc()
+    }
+
+    /// Executes the CPUID instruction. Unhookable.
+    pub fn cpuid(&mut self, leaf: u32) -> (u32, String) {
+        self.machine.system_mut().hardware.cpuid(leaf)
+    }
+
+    /// Measures the RDTSC delta across a CPUID (the `rdtsc_diff_vmexit`
+    /// primitive). Unhookable.
+    pub fn rdtsc_delta_cpuid(&mut self) -> u64 {
+        self.machine.system_mut().hardware.rdtsc_delta(|hw| {
+            hw.cpuid(0x1);
+        })
+    }
+
+    /// Measures the RDTSC delta of an empty measurement (the plain
+    /// `rdtsc_diff` locality primitive). Unhookable.
+    pub fn rdtsc_delta_plain(&mut self) -> u64 {
+        self.machine.system_mut().hardware.rdtsc_delta(|_| {})
+    }
+
+    /// The machine, for payload helpers and assertions in tests.
+    pub fn machine(&mut self) -> &mut Machine {
+        self.machine
+    }
+}
+
+impl std::fmt::Debug for ProcessCtx<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProcessCtx").field("pid", &self.pid).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args;
+    use crate::system::System;
+    use std::sync::Arc;
+
+    struct PebReader;
+    impl Program for PebReader {
+        fn image_name(&self) -> &str {
+            "pebreader.exe"
+        }
+        fn run(&self, ctx: &mut ProcessCtx<'_>) {
+            // mirrors sample cbdda64: PEB read bypasses any hook
+            let peb = ctx.peb();
+            if peb.number_of_processors < 2 {
+                ctx.call(Api::ExitProcess, args![0i64]);
+            } else {
+                ctx.call(Api::WriteFile, args![r"C:\payload.bin", 8u64]);
+            }
+        }
+    }
+
+    #[test]
+    fn peb_reads_bypass_hooks() {
+        let mut sys = System::new();
+        sys.hardware.num_cores = 4;
+        let mut m = Machine::new(sys);
+        m.register_program(Arc::new(PebReader));
+        let pid = m.launch("pebreader.exe").unwrap();
+        // a hook that lies about core count via the API…
+        m.install_hook(
+            pid,
+            Api::GetSystemInfo,
+            Arc::new(|_c: &mut crate::api::ApiCall<'_>| Value::U64(1)),
+        );
+        m.run();
+        // …does not stop the PEB-reading payload
+        assert!(m.system().fs.exists(r"C:\payload.bin"));
+    }
+
+    #[test]
+    fn exit_is_visible_through_ctx() {
+        struct Exiter;
+        impl Program for Exiter {
+            fn image_name(&self) -> &str {
+                "exiter.exe"
+            }
+            fn run(&self, ctx: &mut ProcessCtx<'_>) {
+                assert!(!ctx.exited());
+                ctx.call(Api::ExitProcess, args![3i64]);
+                assert!(ctx.exited());
+            }
+        }
+        let mut m = Machine::new(System::new());
+        m.register_program(Arc::new(Exiter));
+        m.run_sample("exiter.exe").unwrap();
+        let p = m.find_process("exiter.exe");
+        assert!(p.is_none());
+    }
+
+    #[test]
+    fn prologue_read_reflects_hooking() {
+        let mut m = Machine::new(System::new());
+        let pid = m.spawn("x.exe", m.explorer_pid(), true);
+        {
+            let ctx = ProcessCtx::new(&mut m, pid);
+            assert_eq!(ctx.read_api_prologue(Api::Sleep)[0], 0x8b);
+        }
+        m.install_hook(pid, Api::Sleep, Arc::new(|c: &mut crate::api::ApiCall<'_>| c.call_original()));
+        let ctx = ProcessCtx::new(&mut m, pid);
+        assert_eq!(ctx.read_api_prologue(Api::Sleep)[0], 0xe9);
+    }
+}

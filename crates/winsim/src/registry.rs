@@ -1,0 +1,332 @@
+//! The simulated Windows registry: a case-insensitive hierarchical
+//! key/value store.
+//!
+//! Evasive malware probes the registry for virtual-machine and analysis-tool
+//! evidence (Section II-B(e)), and the wear-and-tear evasion of
+//! Miramirkhani et al. measures registry "aging" (Table III). Keys are
+//! addressed by full backslash-separated paths such as
+//! `HKEY_LOCAL_MACHINE\SOFTWARE\Oracle\VirtualBox Guest Additions`.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::NtStatus;
+
+/// A registry value.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RegValue {
+    /// `REG_SZ` — a string.
+    Sz(String),
+    /// `REG_DWORD` — a 32-bit integer.
+    Dword(u32),
+    /// `REG_QWORD` — a 64-bit integer.
+    Qword(u64),
+    /// `REG_BINARY` — raw bytes.
+    Binary(Vec<u8>),
+    /// `REG_MULTI_SZ` — a string list.
+    MultiSz(Vec<String>),
+}
+
+impl RegValue {
+    /// The value as a string, if it is `REG_SZ`.
+    pub fn as_sz(&self) -> Option<&str> {
+        match self {
+            RegValue::Sz(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an integer (`REG_DWORD` or `REG_QWORD`).
+    pub fn as_int(&self) -> Option<u64> {
+        match self {
+            RegValue::Dword(v) => Some(u64::from(*v)),
+            RegValue::Qword(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+/// One registry key: named values plus implicit children via path prefixes.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+struct KeyNode {
+    /// Original (display) casing of the full path.
+    display: String,
+    values: BTreeMap<String, (String, RegValue)>,
+}
+
+/// The registry store.
+///
+/// Lookups are case-insensitive, as on Windows; original casing is preserved
+/// for display. Keys form a tree, represented as a flat ordered map from
+/// normalized full path to node, which makes subtree queries (subkey counts,
+/// enumeration) simple range scans.
+///
+/// ```
+/// use winsim::{RegValue, Registry};
+/// let mut r = Registry::new();
+/// r.set_value(r"HKLM\SOFTWARE\Oracle\VirtualBox Guest Additions", "Version", RegValue::Sz("5.2".into()));
+/// assert!(r.key_exists(r"hklm\software\ORACLE"));
+/// assert_eq!(r.subkey_count(r"HKLM\SOFTWARE"), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Registry {
+    keys: BTreeMap<String, KeyNode>,
+}
+
+fn norm(path: &str) -> String {
+    path.trim_matches('\\').to_ascii_lowercase()
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Creates the key (and all missing ancestors). Idempotent.
+    pub fn create_key(&mut self, path: &str) {
+        let trimmed = path.trim_matches('\\');
+        let mut so_far = String::new();
+        for comp in trimmed.split('\\') {
+            if !so_far.is_empty() {
+                so_far.push('\\');
+            }
+            so_far.push_str(comp);
+            let n = norm(&so_far);
+            self.keys
+                .entry(n)
+                .or_insert_with(|| KeyNode { display: so_far.clone(), values: BTreeMap::new() });
+        }
+    }
+
+    /// Whether the key exists.
+    pub fn key_exists(&self, path: &str) -> bool {
+        self.keys.contains_key(&norm(path))
+    }
+
+    /// Opens a key, mirroring `RegOpenKeyEx` result codes.
+    pub fn open_key(&self, path: &str) -> NtStatus {
+        if self.key_exists(path) {
+            NtStatus::Success
+        } else {
+            NtStatus::ObjectNameNotFound
+        }
+    }
+
+    /// Sets a value under `path` (creating the key if needed).
+    pub fn set_value(&mut self, path: &str, name: &str, value: RegValue) {
+        self.create_key(path);
+        let node = self.keys.get_mut(&norm(path)).expect("key just created");
+        node.values.insert(name.to_ascii_lowercase(), (name.to_owned(), value));
+    }
+
+    /// Reads a value.
+    pub fn value(&self, path: &str, name: &str) -> Option<&RegValue> {
+        self.keys
+            .get(&norm(path))
+            .and_then(|k| k.values.get(&name.to_ascii_lowercase()))
+            .map(|(_, v)| v)
+    }
+
+    /// Deletes a value; returns whether it existed.
+    pub fn delete_value(&mut self, path: &str, name: &str) -> bool {
+        self.keys
+            .get_mut(&norm(path))
+            .map(|k| k.values.remove(&name.to_ascii_lowercase()).is_some())
+            .unwrap_or(false)
+    }
+
+    /// Deletes a key and its entire subtree; returns number of keys removed.
+    pub fn delete_key(&mut self, path: &str) -> usize {
+        let n = norm(path);
+        let prefix = format!("{n}\\");
+        let doomed: Vec<String> = self
+            .keys
+            .range(n.clone()..)
+            .take_while(|(k, _)| **k == n || k.starts_with(&prefix))
+            .map(|(k, _)| k.clone())
+            .collect();
+        for k in &doomed {
+            self.keys.remove(k);
+        }
+        doomed.len()
+    }
+
+    /// Number of *direct* subkeys of `path` (what `NtQueryKey` reports).
+    pub fn subkey_count(&self, path: &str) -> usize {
+        self.subkeys(path).len()
+    }
+
+    /// Names (leaf components, display casing) of direct subkeys.
+    pub fn subkeys(&self, path: &str) -> Vec<String> {
+        let n = norm(path);
+        let prefix = format!("{n}\\");
+        let mut out = Vec::new();
+        let mut last: Option<String> = None;
+        for (k, node) in self.keys.range(prefix.clone()..) {
+            if !k.starts_with(&prefix) {
+                break;
+            }
+            let rest = &k[prefix.len()..];
+            let leaf_norm = rest.split('\\').next().unwrap_or(rest).to_owned();
+            if last.as_deref() != Some(&leaf_norm) {
+                // direct child: display name from its own node when the child
+                // key itself exists, otherwise derive from a descendant path
+                let display = if rest == leaf_norm {
+                    node.display.rsplit('\\').next().unwrap_or("").to_owned()
+                } else {
+                    leaf_norm.clone()
+                };
+                out.push(display);
+                last = Some(leaf_norm);
+            }
+        }
+        out
+    }
+
+    /// Number of values stored directly under `path`.
+    pub fn value_count(&self, path: &str) -> usize {
+        self.keys.get(&norm(path)).map_or(0, |k| k.values.len())
+    }
+
+    /// Value names (display casing) under `path`.
+    pub fn value_names(&self, path: &str) -> Vec<String> {
+        self.keys
+            .get(&norm(path))
+            .map(|k| k.values.values().map(|(name, _)| name.clone()).collect())
+            .unwrap_or_default()
+    }
+
+    /// Total number of keys in the registry.
+    pub fn key_count(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Iterates over every key's display path (used by the resource
+    /// crawler to inventory a machine).
+    pub fn key_paths(&self) -> impl Iterator<Item = &str> {
+        self.keys.values().map(|n| n.display.as_str())
+    }
+
+    /// All key paths (normalized) containing `needle` (case-insensitive).
+    ///
+    /// Supports "there are over 300 references in a registry to VMware"-style
+    /// sweeps performed by evasive samples.
+    pub fn find_keys_containing(&self, needle: &str) -> Vec<String> {
+        let needle = needle.to_ascii_lowercase();
+        self.keys
+            .iter()
+            .filter(|(k, _)| k.contains(&needle))
+            .map(|(_, node)| node.display.clone())
+            .collect()
+    }
+
+    /// Approximate hive size in bytes, for `SystemRegistryQuotaInformation`.
+    ///
+    /// Modeled as a fixed per-key overhead plus value payload sizes,
+    /// calibrated so a years-old end-user hive measures in the tens of
+    /// megabytes (larger than the ~53 MB a typical sandbox image reports)
+    /// while a pristine image stays small.
+    pub fn quota_used_bytes(&self) -> u64 {
+        let mut total = 0u64;
+        for node in self.keys.values() {
+            total += 1024; // per-key overhead (cells + security + names)
+            for (name, (_, v)) in &node.values {
+                total += name.len() as u64 + 64;
+                total += match v {
+                    RegValue::Sz(s) => s.len() as u64 * 2,
+                    RegValue::Dword(_) => 4,
+                    RegValue::Qword(_) => 8,
+                    RegValue::Binary(b) => b.len() as u64,
+                    RegValue::MultiSz(l) => l.iter().map(|s| s.len() as u64 * 2 + 2).sum(),
+                };
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_key_creates_ancestors() {
+        let mut r = Registry::new();
+        r.create_key(r"HKLM\SOFTWARE\Oracle\VirtualBox Guest Additions");
+        assert!(r.key_exists(r"HKLM\SOFTWARE"));
+        assert!(r.key_exists(r"hklm\software\oracle"));
+        assert_eq!(r.open_key(r"HKLM\SOFTWARE\Oracle"), NtStatus::Success);
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive_and_preserves_display() {
+        let mut r = Registry::new();
+        r.set_value(r"HKLM\Sys\Cfg", "VideoBiosVersion", RegValue::Sz("VIRTUALBOX".into()));
+        assert_eq!(
+            r.value(r"hklm\SYS\cfg", "videobiosversion").and_then(RegValue::as_sz),
+            Some("VIRTUALBOX")
+        );
+        assert_eq!(r.value_names(r"hklm\sys\cfg"), vec!["VideoBiosVersion".to_owned()]);
+    }
+
+    #[test]
+    fn missing_key_reports_not_found() {
+        let r = Registry::new();
+        assert_eq!(r.open_key(r"HKLM\SOFTWARE\VMware, Inc.\VMware Tools"),
+                   NtStatus::ObjectNameNotFound);
+    }
+
+    #[test]
+    fn subkey_count_counts_direct_children_only() {
+        let mut r = Registry::new();
+        r.create_key(r"HKLM\A\B1\C");
+        r.create_key(r"HKLM\A\B2");
+        r.create_key(r"HKLM\A\B2\D\E");
+        assert_eq!(r.subkey_count(r"HKLM\A"), 2);
+        assert_eq!(r.subkeys(r"HKLM\A"), vec!["B1".to_owned(), "B2".to_owned()]);
+        assert_eq!(r.subkey_count(r"HKLM\A\B1"), 1);
+    }
+
+    #[test]
+    fn delete_key_removes_subtree() {
+        let mut r = Registry::new();
+        r.create_key(r"HKLM\A\B\C");
+        r.create_key(r"HKLM\AB"); // sibling that shares a prefix string
+        let removed = r.delete_key(r"HKLM\A");
+        assert_eq!(removed, 3); // A, A\B, A\B\C
+        assert!(r.key_exists(r"HKLM\AB"));
+        assert!(!r.key_exists(r"HKLM\A"));
+    }
+
+    #[test]
+    fn find_keys_containing_sweeps_the_hive() {
+        let mut r = Registry::new();
+        r.create_key(r"HKLM\SOFTWARE\VMware, Inc.\VMware Tools");
+        r.create_key(r"HKLM\SYSTEM\ControlSet001\Services\vmci");
+        r.create_key(r"HKLM\SOFTWARE\Microsoft");
+        assert_eq!(r.find_keys_containing("vmware").len(), 2);
+        assert_eq!(r.find_keys_containing("VMCI").len(), 1);
+    }
+
+    #[test]
+    fn quota_grows_with_contents() {
+        let mut small = Registry::new();
+        small.create_key(r"HKLM\A");
+        let mut big = small.clone();
+        for i in 0..100 {
+            big.set_value(r"HKLM\A", &format!("v{i}"), RegValue::Sz("x".repeat(50)));
+        }
+        assert!(big.quota_used_bytes() > small.quota_used_bytes());
+    }
+
+    #[test]
+    fn value_deletion() {
+        let mut r = Registry::new();
+        r.set_value(r"HKLM\K", "n", RegValue::Dword(1));
+        assert!(r.delete_value(r"HKLM\K", "N"));
+        assert!(!r.delete_value(r"HKLM\K", "n"));
+        assert_eq!(r.value_count(r"HKLM\K"), 0);
+    }
+}

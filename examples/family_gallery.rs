@@ -1,0 +1,50 @@
+//! Family gallery: one hand-crafted representative per Figure 4 family,
+//! run against Scarecrow, with trace statistics.
+//!
+//! Shows how differently each family fingerprints the environment (probe
+//! mix, query ratio) and that one deceptive answer deactivates all of
+//! them — except Selfdel, which never does anything judgeable.
+//!
+//! Run with: `cargo run --example family_gallery`
+
+use std::sync::Arc;
+
+use harness::Cluster;
+use malware_sim::samples::families::all_representatives;
+use scarecrow::{Config, Scarecrow};
+use tracer::TraceStats;
+use winsim::env::bare_metal_sandbox;
+
+fn main() {
+    // the victim machine has an active user, so mouse-gated samples act
+    let factory = Arc::new(|| {
+        let mut m = bare_metal_sandbox();
+        m.system_mut().input = winsim::InputModel::active(120);
+        m
+    });
+    let cluster = Cluster::new(factory, Scarecrow::with_builtin_db(Config::default()));
+
+    println!(
+        "{:<10} {:<26} {:>8} {:>9} {:>8}  verdict",
+        "family", "first trigger", "baseline", "queries%", "spawns"
+    );
+    for rep in all_representatives() {
+        let family = rep.family.clone();
+        let pair = cluster.run_pair(rep.into_program());
+        let baseline_stats = TraceStats::of(&pair.baseline);
+        let protected_stats = TraceStats::of(&pair.protected.trace);
+        println!(
+            "{:<10} {:<26} {:>8} {:>8.0}% {:>8}  {}",
+            family,
+            pair.protected
+                .triggers
+                .first()
+                .map(|t| t.api.name().to_owned())
+                .unwrap_or_else(|| "-".to_owned()),
+            baseline_stats.significant,
+            baseline_stats.query_ratio() * 100.0,
+            protected_stats.self_spawns,
+            pair.verdict,
+        );
+    }
+}

@@ -1,0 +1,75 @@
+//! Continuous learning of new deceptive resources (Section II-C).
+//!
+//! A zero-day evasive sample keys on an artifact Scarecrow does not fake.
+//! The example shows the full feedback loop: failed deactivation →
+//! MalGene paired-trace analysis → evasion-signature extraction →
+//! database learning → successful deactivation.
+//!
+//! Run with: `cargo run --example learn_new_evasions`
+
+use malware_sim::{EvasiveLogic, EvasiveSample, Payload, Reaction, Technique};
+use scarecrow::{Config, ResourceDb, Scarecrow};
+use winsim::env::bare_metal_sandbox;
+
+const NOVEL_KEY: &str = r"HKLM\SOFTWARE\Norman SandBox Analyzer";
+
+fn zero_day() -> EvasiveSample {
+    EvasiveSample::new(
+        "zeroday.exe",
+        "ZeroDay",
+        EvasiveLogic::any([Technique::RegistryKey(NOVEL_KEY.into())]),
+        Reaction::Exit,
+        Payload::Chain(vec![
+            Payload::DropAndExec(vec!["implant.exe".into()]),
+            Payload::RegistryPersistence,
+        ]),
+    )
+}
+
+fn protected_run(engine: &Scarecrow) -> usize {
+    let mut m = bare_metal_sandbox();
+    m.register_program(zero_day().into_program());
+    let run = engine.run_protected(&mut m, "zeroday.exe").expect("registered image");
+    run.trace.significant_activities().len()
+}
+
+fn main() {
+    // 1. out of the box, the zero-day detonates under protection
+    let engine = Scarecrow::with_db(Config::default(), ResourceDb::builtin());
+    let acts = protected_run(&engine);
+    println!("before learning: {acts} malicious activities under Scarecrow (!!)");
+
+    // 2. MalGene setup: run the sample in two analysis environments
+    let mut env_with_artifact = bare_metal_sandbox();
+    env_with_artifact.system_mut().registry.create_key(NOVEL_KEY);
+    env_with_artifact.register_program(zero_day().into_program());
+    env_with_artifact.run_sample("zeroday.exe").unwrap();
+    let evading = env_with_artifact.take_trace();
+
+    let mut clean_env = bare_metal_sandbox();
+    clean_env.register_program(zero_day().into_program());
+    clean_env.run_sample("zeroday.exe").unwrap();
+    let detonating = clean_env.take_trace();
+
+    println!(
+        "paired runs: evading trace {} events, detonating trace {} events",
+        evading.len(),
+        detonating.len()
+    );
+
+    // 3. extract the evasion signature from the trace deviation
+    let sig = malgene::extract_signature(&evading, &detonating)
+        .expect("deviation with a deciding probe");
+    println!("extracted signature: {}", sig.kind);
+
+    // 4. learn it into the deception database
+    let mut db = ResourceDb::builtin();
+    let outcome = db.learn(&sig);
+    println!("learning outcome: {outcome:?}");
+
+    // 5. the rebuilt engine now deactivates the zero-day
+    let engine = Scarecrow::with_db(Config::default(), db);
+    let acts = protected_run(&engine);
+    println!("after learning:  {acts} malicious activities under Scarecrow");
+    assert_eq!(acts, 0);
+}

@@ -1,0 +1,62 @@
+//! Run the reimplemented Pafish fingerprinting tool in all three
+//! evaluation environments, with and without Scarecrow, and print the
+//! per-category evidence counts (the paper's Table II).
+//!
+//! Run with: `cargo run --example pafish_report`
+
+use pafish_sim::{run_pafish, PafishCategory};
+use scarecrow::{Config, Scarecrow};
+use winsim::env::{bare_metal_sandbox, end_user_machine, make_vm_sandbox_transparent, vm_sandbox};
+use winsim::ProcessCtx;
+
+fn main() {
+    let engine = Scarecrow::with_builtin_db(Config::default());
+    let mut columns = Vec::new();
+
+    for (label, with_scarecrow) in [
+        ("bare-metal w/o", false),
+        ("bare-metal w/ ", true),
+        ("VM sandbox w/o", false),
+        ("VM sandbox w/ ", true),
+        ("end-user w/o  ", false),
+        ("end-user w/   ", true),
+    ] {
+        let mut machine = if label.starts_with("bare") {
+            bare_metal_sandbox()
+        } else if label.starts_with("VM") {
+            vm_sandbox()
+        } else {
+            end_user_machine()
+        };
+        if label.starts_with("VM") && with_scarecrow {
+            make_vm_sandbox_transparent(&mut machine);
+        }
+        let pid =
+            harness::spawn_probe(&mut machine, "pafish.exe", with_scarecrow.then_some(&engine));
+        let mut ctx = ProcessCtx::new(&mut machine, pid);
+        columns.push((label, run_pafish(&mut ctx)));
+    }
+
+    print!("{:<22}", "category");
+    for (label, _) in &columns {
+        print!(" {label:>15}");
+    }
+    println!();
+    for cat in PafishCategory::all() {
+        print!("{:<22}", cat.label());
+        for (_, report) in &columns {
+            print!(" {:>15}", report.count(cat));
+        }
+        println!();
+    }
+    print!("{:<22}", "TOTAL");
+    for (_, report) in &columns {
+        print!(" {:>15}", report.total_triggered());
+    }
+    println!();
+
+    println!("\ntriggered on the protected end-user machine:");
+    for name in &columns.last().expect("six columns").1.triggered {
+        println!("  - {name}");
+    }
+}

@@ -1,0 +1,51 @@
+//! Ransomware defense (the paper's Case II): Scarecrow's DNS sinkhole
+//! stops the WannaCry variant and its deceptive environment stops Locky —
+//! *before* any file is encrypted — on an actively used end-user machine.
+//!
+//! Run with: `cargo run --example ransomware_defense`
+
+use malware_sim::samples::cases;
+use scarecrow::{Config, Scarecrow};
+use winsim::env::end_user_machine;
+use winsim::Machine;
+
+fn count_encrypted(machine: &Machine) -> usize {
+    machine.system().fs.iter().filter(|f| f.encrypted).count()
+}
+
+fn main() {
+    let engine = Scarecrow::with_builtin_db(Config::default());
+
+    for (label, sample) in [
+        ("WannaCry variant (kill-switch)", cases::wannacry()),
+        ("Locky", cases::locky()),
+        ("WannaCry initial build (no evasive logic!)", cases::wannacry_initial()),
+    ] {
+        let image = {
+            let program = sample.clone().into_program();
+            winsim::Program::image_name(&*program).to_owned()
+        };
+
+        // without Scarecrow: the user's documents are lost
+        let mut victim = end_user_machine();
+        victim.register_program(sample.clone().into_program());
+        victim.run_sample(&image).expect("registered image");
+        let lost = count_encrypted(&victim);
+
+        // with Scarecrow: deployed as the on-demand launcher for untrusted
+        // downloads
+        let mut defended = end_user_machine();
+        defended.register_program(sample.into_program());
+        let run = engine.run_protected(&mut defended, &image).expect("registered image");
+        let still_lost = count_encrypted(&defended);
+
+        println!("{label}:");
+        println!("  files encrypted without Scarecrow: {lost}");
+        println!("  files encrypted with Scarecrow:    {still_lost}");
+        match run.triggers.first() {
+            Some(t) => println!("  deactivated by: {t}"),
+            None => println!("  (no evasive logic to exploit — deception cannot help)"),
+        }
+        println!();
+    }
+}

@@ -1,0 +1,10 @@
+#!/bin/sh
+# Regenerates every table/figure artifact into results/.
+set -e
+export SCARECROW_RESULTS_DIR="${SCARECROW_RESULTS_DIR:-results}"
+mkdir -p "$SCARECROW_RESULTS_DIR"
+cargo build --release -p scarecrow-bench --bins
+for b in table1 table2 table3 figure4 case_studies benign_impact figure5_space ablation; do
+    echo "== $b =="
+    ./target/release/$b | tee "$SCARECROW_RESULTS_DIR/$b.txt"
+done

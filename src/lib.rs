@@ -1,0 +1,16 @@
+//! Umbrella crate for the Scarecrow (DSN 2020) reproduction.
+//!
+//! Re-exports every member crate so the examples and the cross-crate
+//! integration tests under `tests/` can use one dependency. Start with
+//! [`scarecrow`] (the deception engine) and [`winsim`] (the simulated
+//! Windows substrate); see `README.md` for the architecture tour and
+//! `EXPERIMENTS.md` for the paper-vs-measured record.
+
+pub use harness;
+pub use hooklib;
+pub use malware_sim;
+pub use pafish_sim;
+pub use scarecrow;
+pub use tracer;
+pub use weartear;
+pub use winsim;

@@ -1,0 +1,368 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants across the workspace.
+
+use proptest::prelude::*;
+
+use tracer::{Event, EventKind, RegOp, Trace, TraceDiff, Verdict};
+use winsim::{Args, DriveInfo, FileSystem, NxPolicy, RegValue, Registry, Value};
+
+// ---------------------------------------------------------------------------
+// strategies
+// ---------------------------------------------------------------------------
+
+/// Registry-path-ish strings: 1–4 components of word characters.
+fn reg_path() -> impl Strategy<Value = String> {
+    proptest::collection::vec("[A-Za-z][A-Za-z0-9 _-]{0,8}", 1..5)
+        .prop_map(|parts| format!("HKLM\\{}", parts.join("\\")))
+}
+
+fn file_path() -> impl Strategy<Value = String> {
+    proptest::collection::vec("[A-Za-z][A-Za-z0-9_.-]{0,8}", 1..5)
+        .prop_map(|parts| format!("C:\\{}", parts.join("\\")))
+}
+
+fn event_kind() -> impl Strategy<Value = EventKind> {
+    prop_oneof![
+        ("[a-z]{1,8}\\.exe", 1u32..50, 1u32..50).prop_map(|(image, pid, parent)| {
+            EventKind::ProcessCreate { pid, parent, image }
+        }),
+        file_path().prop_map(|path| EventKind::FileCreate { path }),
+        (file_path(), 1u64..1_000_000)
+            .prop_map(|(path, bytes)| EventKind::FileWrite { path, bytes }),
+        file_path().prop_map(|path| EventKind::FileRead { path }),
+        file_path().prop_map(|path| EventKind::FileDelete { path }),
+        (reg_path(), prop_oneof![
+            Just(RegOp::OpenKey),
+            Just(RegOp::QueryValue),
+            Just(RegOp::SetValue),
+            Just(RegOp::CreateKey),
+            Just(RegOp::DeleteKey),
+        ])
+        .prop_map(|(path, op)| EventKind::Registry { op, path }),
+        ("[a-z]{1,12}\\.test").prop_map(|domain| EventKind::DnsQuery { domain, resolved: None }),
+        ("[a-z]{1,10}").prop_map(|name| EventKind::MutexCreate { name }),
+    ]
+}
+
+fn trace(root: &'static str) -> impl Strategy<Value = Trace> {
+    proptest::collection::vec(event_kind(), 0..40).prop_map(move |kinds| {
+        let mut t = Trace::new(root);
+        for (i, kind) in kinds.into_iter().enumerate() {
+            t.record(Event::at(i as u64, 1, kind));
+        }
+        t
+    })
+}
+
+// ---------------------------------------------------------------------------
+// registry invariants
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn registry_create_implies_exists_with_any_casing(path in reg_path()) {
+        let mut r = Registry::new();
+        r.create_key(&path);
+        prop_assert!(r.key_exists(&path));
+        prop_assert!(r.key_exists(&path.to_ascii_uppercase()));
+        prop_assert!(r.key_exists(&path.to_ascii_lowercase()));
+    }
+
+    #[test]
+    fn registry_ancestors_exist_after_create(path in reg_path()) {
+        let mut r = Registry::new();
+        r.create_key(&path);
+        let mut prefix = String::new();
+        for comp in path.split('\\') {
+            if !prefix.is_empty() { prefix.push('\\'); }
+            prefix.push_str(comp);
+            prop_assert!(r.key_exists(&prefix), "ancestor {prefix} missing");
+        }
+    }
+
+    #[test]
+    fn registry_delete_subtree_is_complete(paths in proptest::collection::vec(reg_path(), 1..8)) {
+        let mut r = Registry::new();
+        for p in &paths { r.create_key(p); }
+        let victim = &paths[0];
+        r.delete_key(victim);
+        prop_assert!(!r.key_exists(victim));
+        let prefix = format!("{}\\", victim.to_ascii_lowercase());
+        for p in r.key_paths() {
+            prop_assert!(!p.to_ascii_lowercase().starts_with(&prefix));
+        }
+    }
+
+    #[test]
+    fn registry_set_then_get_round_trips(path in reg_path(), name in "[a-z]{1,8}", val in "[ -~]{0,16}") {
+        let mut r = Registry::new();
+        r.set_value(&path, &name, RegValue::Sz(val.clone()));
+        prop_assert_eq!(r.value(&path, &name).and_then(RegValue::as_sz), Some(val.as_str()));
+        prop_assert_eq!(r.value_count(&path), 1);
+    }
+
+    #[test]
+    fn registry_quota_is_monotone_in_content(paths in proptest::collection::vec(reg_path(), 1..10)) {
+        let mut r = Registry::new();
+        let mut last = r.quota_used_bytes();
+        for p in &paths {
+            r.create_key(p);
+            let next = r.quota_used_bytes();
+            prop_assert!(next >= last);
+            last = next;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// filesystem invariants
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn fs_create_exists_delete_cycle(path in file_path(), size in 0u64..1_000_000) {
+        let mut fs = FileSystem::new();
+        fs.set_drive('C', DriveInfo::gb(100, 50));
+        fs.create(&path, size, "t");
+        prop_assert!(fs.exists(&path));
+        prop_assert_eq!(fs.node(&path).unwrap().size, size);
+        prop_assert!(fs.delete(&path));
+        prop_assert!(!fs.exists(&path));
+        prop_assert!(!fs.delete(&path));
+    }
+
+    #[test]
+    fn fs_rename_preserves_count_and_moves_content(from in file_path(), to in file_path()) {
+        prop_assume!(!from.eq_ignore_ascii_case(&to));
+        let mut fs = FileSystem::new();
+        fs.create(&from, 42, "t");
+        let before = fs.file_count();
+        prop_assert!(fs.rename(&from, &to));
+        prop_assert_eq!(fs.file_count(), before);
+        prop_assert!(!fs.exists(&from));
+        prop_assert!(fs.exists(&to));
+        prop_assert_eq!(fs.node(&to).unwrap().size, 42);
+    }
+
+    #[test]
+    fn fs_writes_accumulate(path in file_path(), writes in proptest::collection::vec(1u64..1000, 1..10)) {
+        let mut fs = FileSystem::new();
+        let mut expected = 0;
+        for w in &writes {
+            expected += w;
+            prop_assert_eq!(fs.write(&path, *w), expected);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// trace / verdict invariants
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn verdict_is_total_and_consistent(a in trace("m.exe"), b in trace("m.exe")) {
+        // never panics, and agrees with the diff it is derived from
+        let diff = TraceDiff::compute(&a, &b);
+        let v = Verdict::decide(&a, &b);
+        match &v {
+            Verdict::Deactivated(_) => {
+                prop_assert!(diff.has_suppressed() || diff.self_spawns.1 > tracer::SELF_SPAWN_LOOP_THRESHOLD);
+            }
+            Verdict::NotDeactivated => {
+                prop_assert!(diff.baseline_had_activity());
+                prop_assert!(!diff.has_suppressed());
+            }
+            Verdict::Indeterminate => {
+                prop_assert!(!diff.baseline_had_activity());
+            }
+        }
+    }
+
+    #[test]
+    fn identical_traces_never_count_as_deactivated(a in trace("m.exe")) {
+        let v = Verdict::decide(&a, &a.clone());
+        prop_assert!(!v.is_deactivated() || a.self_spawn_count() > tracer::SELF_SPAWN_LOOP_THRESHOLD);
+    }
+
+    #[test]
+    fn empty_protected_trace_deactivates_iff_baseline_acted(a in trace("m.exe")) {
+        let empty = Trace::new("m.exe");
+        let v = Verdict::decide(&a, &empty);
+        if a.significant_activities().is_empty() {
+            prop_assert_eq!(v, Verdict::Indeterminate);
+        } else {
+            prop_assert!(v.is_deactivated());
+        }
+    }
+
+    #[test]
+    fn significant_activities_are_a_subset_of_events(a in trace("m.exe")) {
+        prop_assert!(a.significant_activities().len() <= a.len());
+    }
+
+    #[test]
+    fn merge_preserves_event_count(a in trace("m.exe"), b in trace("m.exe")) {
+        let (na, nb) = (a.len(), b.len());
+        let mut merged = a;
+        merged.merge(b);
+        prop_assert_eq!(merged.len(), na + nb);
+        // and stays time-ordered
+        let times: Vec<_> = merged.events().iter().map(|e| e.time).collect();
+        prop_assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// value / args invariants
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn args_set_get_round_trip(idx in 0usize..8, s in "[ -~]{0,12}") {
+        let mut args = Args::none();
+        args.set(idx, Value::Str(s.clone()));
+        prop_assert_eq!(args.str(idx), s.as_str());
+        prop_assert!(args.len() > idx);
+    }
+
+    #[test]
+    fn value_u64_round_trips(v in any::<u64>()) {
+        prop_assert_eq!(Value::U64(v).as_u64(), Some(v));
+        prop_assert_eq!(Value::U64(v).truthy(), v != 0);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// network invariants
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn sinkhole_answers_every_domain_with_one_address(
+        domains in proptest::collection::vec("[a-z]{1,12}\\.test", 1..20),
+        addr in any::<[u8; 4]>(),
+    ) {
+        let mut n = winsim::Network::new();
+        n.nx_policy = NxPolicy::Sinkhole(addr);
+        for d in &domains {
+            prop_assert_eq!(n.resolve(d), Some(addr));
+            prop_assert_eq!(n.http_get(d), Some(200));
+        }
+    }
+
+    #[test]
+    fn fail_policy_never_resolves_unknown_domains(
+        domains in proptest::collection::vec("[a-z]{1,12}\\.test", 1..20),
+    ) {
+        let mut n = winsim::Network::new();
+        for d in &domains {
+            prop_assert_eq!(n.resolve(d), None);
+            prop_assert!(n.dns_cache().is_empty());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// decision-tree invariants
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn decision_tree_fits_separable_data(seed in 0u64..1000) {
+        let data = weartear::training_population(seed, 100);
+        let tree = weartear::DecisionTree::train(&data, 4);
+        prop_assert!(tree.accuracy(&data) > 0.97);
+    }
+
+    #[test]
+    fn decision_tree_classification_is_total(f in proptest::collection::vec(0.0f64..1e9, 5)) {
+        let tree = weartear::sandbox_classifier(11);
+        let _ = tree.classify(&f); // must not panic for any in-arity input
+    }
+}
+
+// ---------------------------------------------------------------------------
+// malgene alignment invariants
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn alignment_matches_are_strictly_increasing(a in trace("m.exe"), b in trace("m.exe")) {
+        let al = malgene::align(&a, &b);
+        for w in al.matched.windows(2) {
+            prop_assert!(w[0].0 < w[1].0);
+            prop_assert!(w[0].1 < w[1].1);
+        }
+        for &(ia, ib) in &al.matched {
+            prop_assert!(ia < a.len() && ib < b.len());
+            prop_assert_eq!(
+                malgene::key(&a.events()[ia]),
+                malgene::key(&b.events()[ib]),
+                "matched events must share keys"
+            );
+        }
+        prop_assert!(al.coverage_of_b() <= 1.0);
+    }
+
+    #[test]
+    fn self_alignment_is_total(a in trace("m.exe")) {
+        let al = malgene::align(&a, &a.clone());
+        prop_assert_eq!(al.matched.len(), a.len());
+        prop_assert_eq!(al.deviation(), None);
+    }
+
+    #[test]
+    fn prefix_extension_always_deviates(a in trace("m.exe"), extra in event_kind()) {
+        // b = a + one more payload event: deviation must be found at |a|
+        let mut b = a.clone();
+        b.record(Event::at(a.len() as u64 + 1, 1, extra));
+        let al = malgene::align(&a, &b);
+        let (resume_a, dev_b) = al.deviation().expect("strict extension deviates");
+        prop_assert_eq!(resume_a, a.len());
+        prop_assert_eq!(dev_b, a.len());
+    }
+
+    #[test]
+    fn extract_signature_never_panics(a in trace("m.exe"), b in trace("m.exe")) {
+        let _ = malgene::extract_signature(&a, &b);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// hook-chain invariants
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn install_uninstall_restores_clean_prologues(api_indices in proptest::collection::btree_set(0usize..30, 1..10)) {
+        use std::sync::Arc;
+        use hooklib::{check_hook, DllImage, Injector};
+
+        let apis = winsim::Api::all();
+        let mut m = winsim::Machine::new(winsim::System::new());
+        let pid = m.add_system_process("p.exe");
+        let mut dll = DllImage::new("test.dll");
+        for &i in &api_indices {
+            dll.hook(apis[i], Arc::new(|c: &mut winsim::ApiCall<'_>| c.call_original()));
+        }
+        let inj = Injector::new(dll);
+        inj.inject(&mut m, pid);
+        for &i in &api_indices {
+            prop_assert!(check_hook(&m.process(pid).unwrap().api_prologue(apis[i])));
+        }
+        inj.eject(&mut m, pid);
+        for api in apis {
+            prop_assert!(!check_hook(&m.process(pid).unwrap().api_prologue(*api)),
+                "{api} still patched after eject");
+        }
+    }
+}
