@@ -1,0 +1,1 @@
+//! Stub bytes: the workspace declares but does not use this crate.

@@ -1,0 +1,52 @@
+//! Stub crossbeam: a functional std-backed unbounded channel
+//! (see ../README.md).
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Sending half of an unbounded channel.
+    pub struct Sender<T>(Arc<Mutex<VecDeque<T>>>);
+
+    /// Receiving half of an unbounded channel.
+    pub struct Receiver<T>(Arc<Mutex<VecDeque<T>>>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    /// Error returned by `Sender::send` (never happens in the stub).
+    #[derive(Debug)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by `Receiver::try_recv` on an empty channel.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct TryRecvError;
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let q = Arc::new(Mutex::new(VecDeque::new()));
+        (Sender(Arc::clone(&q)), Receiver(q))
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.lock().expect("stub channel poisoned").push_back(value);
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.lock().expect("stub channel poisoned").pop_front().ok_or(TryRecvError)
+        }
+    }
+}

@@ -1,0 +1,2 @@
+//! Stub proptest: only used by the root crate's tests/properties.rs, which
+//! the offline check does not compile. Kept empty on purpose.

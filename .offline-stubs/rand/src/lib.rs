@@ -1,0 +1,86 @@
+//! Stub rand: deterministic, std-only, API-compatible with the subset this
+//! workspace uses (see ../README.md). The stream differs from real rand.
+
+use std::ops::{Bound, RangeBounds};
+
+/// Integer types usable with [`Rng::gen_range`] in this stub.
+pub trait RangeInt: Copy {
+    fn from_u64(v: u64) -> Self;
+    fn to_u64(self) -> u64;
+}
+
+macro_rules! impl_range_int {
+    ($($t:ty),* $(,)?) => {
+        $(
+            impl RangeInt for $t {
+                fn from_u64(v: u64) -> Self {
+                    v as $t
+                }
+                fn to_u64(self) -> u64 {
+                    self as u64
+                }
+            }
+        )*
+    };
+}
+
+impl_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Stand-in for `rand::Rng`, with the methods this workspace calls.
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    fn gen_range<T: RangeInt, R: RangeBounds<T>>(&mut self, range: R) -> T {
+        let lo = match range.start_bound() {
+            Bound::Included(v) => v.to_u64(),
+            Bound::Excluded(v) => v.to_u64() + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(v) => v.to_u64() + 1,
+            Bound::Excluded(v) => v.to_u64(),
+            Bound::Unbounded => u64::MAX,
+        };
+        let span = hi.saturating_sub(lo).max(1);
+        T::from_u64(lo + self.next_u64() % span)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() as f64 / u64::MAX as f64) < p
+    }
+}
+
+/// Stand-in for `rand::SeedableRng` (also re-exported by the
+/// `rand_chacha` stub as `rand_chacha::rand_core::SeedableRng`).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod seq {
+    use super::Rng;
+
+    /// Stand-in for `rand::seq::SliceRandom`.
+    pub trait SliceRandom {
+        type Item;
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get(rng.gen_range(0..self.len()))
+            }
+        }
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                self.swap(i, rng.gen_range(0..=i));
+            }
+        }
+    }
+}

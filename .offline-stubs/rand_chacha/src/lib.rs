@@ -1,0 +1,29 @@
+//! Stub rand_chacha: `ChaCha8Rng` backed by SplitMix64 (deterministic, but
+//! a different stream than real ChaCha8 — see ../README.md).
+
+pub mod rand_core {
+    pub use rand::SeedableRng;
+}
+
+/// Deterministic stand-in for `rand_chacha::ChaCha8Rng`.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    state: u64,
+}
+
+impl rand::SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(seed: u64) -> Self {
+        ChaCha8Rng { state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15) }
+    }
+}
+
+impl rand::Rng for ChaCha8Rng {
+    fn next_u64(&mut self) -> u64 {
+        // SplitMix64
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}

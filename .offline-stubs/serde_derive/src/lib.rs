@@ -1,0 +1,73 @@
+//! Stub serde derive macros: emit empty marker impls (see ../README.md).
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Finds the type name: the identifier following `struct`, `enum`, or
+/// `union` at the top level of the derive input. Returns `None` for
+/// generic types (no generics are derived in this workspace).
+fn type_name(input: TokenStream) -> Option<String> {
+    let mut saw_kw = false;
+    for tt in input {
+        match tt {
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if saw_kw {
+                    return Some(s);
+                }
+                if s == "struct" || s == "enum" || s == "union" {
+                    saw_kw = true;
+                }
+            }
+            TokenTree::Punct(p) if saw_kw && p.as_char() == '<' => return None,
+            _ => {}
+        }
+    }
+    None
+}
+
+fn is_generic(input: &TokenStream) -> bool {
+    let mut saw_kw = false;
+    let mut saw_name = false;
+    for tt in input.clone() {
+        match tt {
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if saw_kw && !saw_name {
+                    saw_name = true;
+                    continue;
+                }
+                if s == "struct" || s == "enum" || s == "union" {
+                    saw_kw = true;
+                }
+            }
+            TokenTree::Punct(p) if saw_name => return p.as_char() == '<',
+            TokenTree::Group(_) if saw_name => return false,
+            _ => {}
+        }
+    }
+    false
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    if is_generic(&input) {
+        return TokenStream::new();
+    }
+    match type_name(input) {
+        Some(name) => format!("impl ::serde::Serialize for {name} {{}}").parse().unwrap(),
+        None => TokenStream::new(),
+    }
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    if is_generic(&input) {
+        return TokenStream::new();
+    }
+    match type_name(input) {
+        Some(name) => {
+            format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}").parse().unwrap()
+        }
+        None => TokenStream::new(),
+    }
+}

@@ -1,0 +1,43 @@
+//! Stub serde_json: typechecks, serializes to empty documents, never
+//! deserializes successfully (see ../README.md).
+
+/// Stub JSON error.
+pub struct Error(&'static str);
+
+impl std::fmt::Debug for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "serde_json stub: {}", self.0)
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "serde_json stub: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub fn to_string<T: serde::Serialize + ?Sized>(_value: &T) -> Result<String, Error> {
+    Ok("{}".to_owned())
+}
+
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(_value: &T) -> Result<String, Error> {
+    Ok("{}".to_owned())
+}
+
+pub fn to_vec<T: serde::Serialize + ?Sized>(_value: &T) -> Result<Vec<u8>, Error> {
+    Ok(b"{}".to_vec())
+}
+
+pub fn to_vec_pretty<T: serde::Serialize + ?Sized>(_value: &T) -> Result<Vec<u8>, Error> {
+    Ok(b"{}".to_vec())
+}
+
+pub fn from_str<'a, T: serde::Deserialize<'a>>(_s: &'a str) -> Result<T, Error> {
+    Err(Error("deserialization unsupported under stubs"))
+}
+
+pub fn from_slice<'a, T: serde::Deserialize<'a>>(_v: &'a [u8]) -> Result<T, Error> {
+    Err(Error("deserialization unsupported under stubs"))
+}

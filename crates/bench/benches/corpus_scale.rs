@@ -42,16 +42,12 @@ fn bench_alignment(c: &mut Criterion) {
         malware_sim::Reaction::SelfSpawn,
         malware_sim::Payload::CreateProcesses(vec!["svchost.exe".into()]),
     );
-    let cluster = Cluster::new(
-        Arc::new(bare_metal_sandbox),
-        Scarecrow::with_builtin_db(Config::default()),
-    )
-    .with_limits(RunLimits { budget_ms: 60_000, max_processes: 200 });
+    let cluster =
+        Cluster::new(Arc::new(bare_metal_sandbox), Scarecrow::with_builtin_db(Config::default()))
+            .with_limits(RunLimits { budget_ms: 60_000, max_processes: 200 });
     let pair = cluster.run_pair(spawner.into_program());
     let (a, b) = (&pair.baseline, &pair.protected.trace);
-    c.bench_function("malgene_align_loop_trace", |bch| {
-        bch.iter(|| malgene::align(a, b))
-    });
+    c.bench_function("malgene_align_loop_trace", |bch| bch.iter(|| malgene::align(a, b)));
 }
 
 criterion_group!(benches, bench_corpus_sweep, bench_alignment);

@@ -13,8 +13,7 @@ fn bench_protected_runs(c: &mut Criterion) {
     group.sample_size(20);
 
     let engine = Scarecrow::with_builtin_db(Config::default());
-    let debugger_sample =
-        joe_samples().into_iter().find(|s| s.md5 == "f1a1288").unwrap().sample;
+    let debugger_sample = joe_samples().into_iter().find(|s| s.md5 == "f1a1288").unwrap().sample;
     group.bench_function("debugger_evader", |b| {
         b.iter_batched(
             || {
@@ -70,9 +69,7 @@ fn bench_db_lookups(c: &mut Criterion) {
     group.bench_function("reg_key_hit", |b| {
         b.iter(|| db.reg_key(r"HKLM\SOFTWARE\Oracle\VirtualBox Guest Additions"))
     });
-    group.bench_function("reg_key_miss", |b| {
-        b.iter(|| db.reg_key(r"HKLM\SOFTWARE\Legit\App"))
-    });
+    group.bench_function("reg_key_miss", |b| b.iter(|| db.reg_key(r"HKLM\SOFTWARE\Legit\App")));
     group.bench_function("file_hit", |b| {
         b.iter(|| db.file(r"C:\Windows\System32\drivers\vmmouse.sys"))
     });

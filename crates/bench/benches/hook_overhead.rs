@@ -78,9 +78,7 @@ fn bench_injection(c: &mut Criterion) {
 }
 
 fn bench_db_construction(c: &mut Criterion) {
-    c.bench_function("builtin_resource_db_build", |b| {
-        b.iter(scarecrow::ResourceDb::builtin)
-    });
+    c.bench_function("builtin_resource_db_build", |b| b.iter(scarecrow::ResourceDb::builtin));
 }
 
 criterion_group!(benches, bench_api_dispatch, bench_injection, bench_db_construction);

@@ -12,8 +12,8 @@
 use std::sync::Arc;
 
 use harness::{Cluster, RunLimits};
-use malware_sim::samples::cases;
 use malware_sim::malgene_corpus;
+use malware_sim::samples::cases;
 use scarecrow::{Config, Scarecrow};
 use serde::{Deserialize, Serialize};
 use winsim::env::{bare_metal_sandbox, end_user_machine};
@@ -62,11 +62,9 @@ pub fn deception_breadth(subset: usize) -> Vec<ConfigRate> {
     config_variants()
         .into_iter()
         .map(|(label, config, db)| {
-            let cluster = Cluster::new(
-                Arc::new(bare_metal_sandbox),
-                Scarecrow::with_db(config, db),
-            )
-            .with_limits(RunLimits { budget_ms: 60_000, max_processes: 40 });
+            let cluster =
+                Cluster::new(Arc::new(bare_metal_sandbox), Scarecrow::with_db(config, db))
+                    .with_limits(RunLimits { budget_ms: 60_000, max_processes: 40 });
             let report = cluster.run_corpus(&corpus);
             ConfigRate { label, deactivated: report.deactivated(), total: corpus.len() }
         })
@@ -140,7 +138,11 @@ pub fn profile_conflicts() -> ProfileAblation {
 }
 
 /// Renders all ablations.
-pub fn render(rates: &[ConfigRate], wannacry: &[(String, usize)], profiles: &ProfileAblation) -> String {
+pub fn render(
+    rates: &[ConfigRate],
+    wannacry: &[(String, usize)],
+    profiles: &ProfileAblation,
+) -> String {
     let rows: Vec<Vec<String>> = rates
         .iter()
         .map(|r| vec![r.label.clone(), crate::fmt::rate(r.deactivated, r.total)])

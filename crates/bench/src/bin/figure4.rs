@@ -6,4 +6,7 @@ fn main() {
     let report = scarecrow_bench::figure4::run(RunLimits::default(), workers);
     println!("{}", scarecrow_bench::figure4::render(&report));
     scarecrow_bench::json::maybe_write("figure4", &report);
+    if let Some(telemetry) = report.telemetry() {
+        scarecrow_bench::json::maybe_write("figure4_telemetry", telemetry);
+    }
 }

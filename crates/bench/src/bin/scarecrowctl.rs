@@ -17,7 +17,6 @@ use malware_sim::samples::{cases, families, joe};
 use malware_sim::EvasiveSample;
 use scarecrow::{Config, Scarecrow};
 use winsim::env::{bare_metal_sandbox, end_user_machine, vm_sandbox};
-use winsim::Program;
 
 fn builtin_samples() -> Vec<(String, EvasiveSample)> {
     let mut out: Vec<(String, EvasiveSample)> = Vec::new();
@@ -106,6 +105,15 @@ fn cmd_run(name: &str, config_path: Option<&str>) {
     }
     println!("\nsummary: {}", pair.protected.trigger_summary());
     println!("verdict: {}", pair.verdict);
+    if let Some(t) = cluster.telemetry_snapshot() {
+        println!(
+            "telemetry: {} api calls, {} hook hits, {} deception triggers",
+            t.counters.get("api_calls").copied().unwrap_or(0),
+            t.counters.get("hook_hits").copied().unwrap_or(0),
+            t.counters.get("deception_triggers").copied().unwrap_or(0),
+        );
+        scarecrow_bench::json::maybe_write("scarecrowctl_run_telemetry", &t);
+    }
 }
 
 fn cmd_pafish(env: &str) {

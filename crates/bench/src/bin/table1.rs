@@ -1,6 +1,9 @@
 //! Regenerates Table I.
 fn main() {
-    let rows = scarecrow_bench::table1::run();
+    let (rows, telemetry) = scarecrow_bench::table1::run_with_telemetry();
     println!("{}", scarecrow_bench::table1::render(&rows));
     scarecrow_bench::json::maybe_write("table1", &rows);
+    if let Some(telemetry) = telemetry {
+        scarecrow_bench::json::maybe_write("table1_telemetry", &telemetry);
+    }
 }

@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use harness::{Cluster, CorpusReport, RunLimits};
 use malware_sim::malgene_corpus;
-use scarecrow::{Config, ResourceDb};
+use scarecrow::{Config, ResourceDb, Scarecrow};
 use winsim::env::bare_metal_sandbox;
 
 /// Canonical corpus seed used by the reproduction.
@@ -18,14 +18,10 @@ pub const CORPUS_SEED: u64 = 20200629; // DSN 2020's opening day
 /// `workers` spreads samples over independent cluster nodes.
 pub fn run(limits: RunLimits, workers: usize) -> CorpusReport {
     let corpus = malgene_corpus(CORPUS_SEED);
-    Cluster::run_corpus_parallel(
-        &corpus,
-        Arc::new(bare_metal_sandbox),
-        &Config::default(),
-        &ResourceDb::builtin(),
-        limits,
-        workers,
-    )
+    let engine = Scarecrow::builder(Config::default()).db(ResourceDb::builtin()).build();
+    Cluster::new(Arc::new(bare_metal_sandbox), engine)
+        .with_limits(limits)
+        .run_corpus_parallel(&corpus, workers)
 }
 
 /// Renders the Figure 4 histogram (top-10 families) plus the headline
@@ -47,7 +43,14 @@ pub fn render(report: &CorpusReport) -> String {
         .collect();
     let mut out = crate::fmt::render_table(
         "Figure 4 — Effectiveness of Scarecrow on the MalGene corpus (top 10 of 61 families)",
-        &["Family", "Total", "Deactivated", "Kept spawning", "Created procs w/o", "Modified files/reg w/o"],
+        &[
+            "Family",
+            "Total",
+            "Deactivated",
+            "Kept spawning",
+            "Created procs w/o",
+            "Modified files/reg w/o",
+        ],
         &rows,
     );
     let n = report.results().len();

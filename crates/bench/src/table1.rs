@@ -7,7 +7,7 @@ use malware_sim::samples::joe::{joe_samples, JoeSample};
 use malware_sim::Technique;
 use scarecrow::{Config, Scarecrow};
 use serde::{Deserialize, Serialize};
-use tracer::Verdict;
+use tracer::{TelemetrySnapshot, Verdict};
 use winsim::env::bare_metal_sandbox;
 
 /// One measured Table I row.
@@ -73,11 +73,15 @@ fn observed_trigger(sample: &JoeSample, pair: &RunPair) -> String {
 /// Runs the Table I experiment: each Joe sample paired on fresh bare-metal
 /// machines, exactly the paper's setup.
 pub fn run() -> Vec<Table1Row> {
-    let cluster = Cluster::new(
-        Arc::new(bare_metal_sandbox),
-        Scarecrow::with_builtin_db(Config::default()),
-    );
-    joe_samples()
+    run_with_telemetry().0
+}
+
+/// Same as [`run`], also returning the sweep's merged telemetry snapshot
+/// (API call/hook/trigger counters plus per-stage wall-clock timings).
+pub fn run_with_telemetry() -> (Vec<Table1Row>, Option<TelemetrySnapshot>) {
+    let cluster =
+        Cluster::new(Arc::new(bare_metal_sandbox), Scarecrow::with_builtin_db(Config::default()));
+    let rows = joe_samples()
         .into_iter()
         .map(|js| {
             let pair = cluster.run_pair(js.sample.clone().into_program());
@@ -98,7 +102,8 @@ pub fn run() -> Vec<Table1Row> {
                 measured_effective: pair.verdict.is_deactivated(),
             }
         })
-        .collect()
+        .collect();
+    (rows, cluster.telemetry_snapshot())
 }
 
 /// Renders the measured table.
@@ -117,14 +122,25 @@ pub fn render(rows: &[Table1Row]) -> String {
                 {
                     "match".into()
                 } else {
-                    format!("paper: {} / {}", r.paper_trigger, if r.paper_effective { "Y" } else { "X" })
+                    format!(
+                        "paper: {} / {}",
+                        r.paper_trigger,
+                        if r.paper_effective { "Y" } else { "X" }
+                    )
                 },
             ]
         })
         .collect();
     crate::fmt::render_table(
         "Table I — Effectiveness of Scarecrow on the Joe Security samples",
-        &["Sample", "Without SCARECROW", "With SCARECROW (measured)", "Trigger", "Eff.", "vs paper"],
+        &[
+            "Sample",
+            "Without SCARECROW",
+            "With SCARECROW (measured)",
+            "Trigger",
+            "Eff.",
+            "vs paper",
+        ],
         &data,
     )
 }
@@ -135,7 +151,11 @@ mod tests {
 
     #[test]
     fn reproduces_table1_verdicts_and_triggers() {
-        let rows = run();
+        let (rows, telemetry) = run_with_telemetry();
+        let t = telemetry.expect("telemetry collected by default");
+        assert!(!t.is_empty(), "13 paired runs must record activity");
+        assert_eq!(t.counters.get("samples_run"), None, "pairs are not corpus samples");
+        assert!(t.counters.get("api_calls").copied().unwrap_or(0) > 0);
         assert_eq!(rows.len(), 13);
         for r in &rows {
             assert_eq!(
@@ -144,11 +164,7 @@ mod tests {
                 r.md5, r.paper_effective, r.measured_with
             );
             if r.paper_effective {
-                assert_eq!(
-                    r.measured_trigger, r.paper_trigger,
-                    "{}: trigger mismatch",
-                    r.md5
-                );
+                assert_eq!(r.measured_trigger, r.paper_trigger, "{}: trigger mismatch", r.md5);
             }
         }
         let deactivated = rows.iter().filter(|r| r.measured_effective).count();

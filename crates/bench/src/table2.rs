@@ -72,11 +72,7 @@ pub struct Table2 {
 impl Table2 {
     /// Triggered count for (category, column).
     pub fn count(&self, category: PafishCategory, column: Column) -> usize {
-        self.reports
-            .iter()
-            .find(|(c, _)| *c == column)
-            .map(|(_, r)| r.count(category))
-            .unwrap_or(0)
+        self.reports.iter().find(|(c, _)| *c == column).map(|(_, r)| r.count(category)).unwrap_or(0)
     }
 
     /// Whether the three with-Scarecrow columns are identical per category,

@@ -70,16 +70,66 @@ pub fn run() -> Table3 {
             "NtQuerySystemInformation()",
             Some((53 * 1024 * 1024) as f64),
         ),
-        ("uninstallCount", r"Software\...\CurrentVersion\Uninstall", "NtOpenKeyEx(), NtQueryKey()", Some(5.0)),
-        ("totalSharedDlls", r"Software\...\CurrentVersion\SharedDlls", "NtOpenKeyEx(), NtQueryKey()", Some(28.0)),
-        ("totalAppPaths", r"Software\...\CurrentVersion\App Paths", "NtOpenKeyEx(), NtQueryKey()", Some(12.0)),
-        ("totalActiveSetup", r"Software\Microsoft\Active Setup\Installed Components", "NtOpenKeyEx(), NtQueryKey()", Some(9.0)),
-        ("totalMissingDlls", r"Software\...\CurrentVersion\SharedDlls", "NtOpenKeyEx(), NtQueryKey(), NtCreateFile()", None),
-        ("usrassistCount", r"Software\...\Explorer\UserAssist", "NtOpenKeyEx(), NtQueryKey()", Some(6.0)),
-        ("shimCacheCount", r"SYSTEM\...\Session Manager\AppCompatCache", "NtOpenKeyEx(), NtQueryValueKey()", Some(24.0)),
-        ("MUICacheEntries", r"Software\Classes\Local Settings\...\MuiCache", "NtOpenKeyEx(), NtQueryKey()", Some(9.0)),
-        ("FireruleCount", r"SYSTEM\ControlSet001\...\FirewallRules", "NtOpenKeyEx(), NtQueryKey()", Some(31.0)),
-        ("USBStorCount", r"SYSTEM\CurrentControlSet\Services\UsbStor", "NtOpenKeyEx(), NtQueryKey()", Some(1.0)),
+        (
+            "uninstallCount",
+            r"Software\...\CurrentVersion\Uninstall",
+            "NtOpenKeyEx(), NtQueryKey()",
+            Some(5.0),
+        ),
+        (
+            "totalSharedDlls",
+            r"Software\...\CurrentVersion\SharedDlls",
+            "NtOpenKeyEx(), NtQueryKey()",
+            Some(28.0),
+        ),
+        (
+            "totalAppPaths",
+            r"Software\...\CurrentVersion\App Paths",
+            "NtOpenKeyEx(), NtQueryKey()",
+            Some(12.0),
+        ),
+        (
+            "totalActiveSetup",
+            r"Software\Microsoft\Active Setup\Installed Components",
+            "NtOpenKeyEx(), NtQueryKey()",
+            Some(9.0),
+        ),
+        (
+            "totalMissingDlls",
+            r"Software\...\CurrentVersion\SharedDlls",
+            "NtOpenKeyEx(), NtQueryKey(), NtCreateFile()",
+            None,
+        ),
+        (
+            "usrassistCount",
+            r"Software\...\Explorer\UserAssist",
+            "NtOpenKeyEx(), NtQueryKey()",
+            Some(6.0),
+        ),
+        (
+            "shimCacheCount",
+            r"SYSTEM\...\Session Manager\AppCompatCache",
+            "NtOpenKeyEx(), NtQueryValueKey()",
+            Some(24.0),
+        ),
+        (
+            "MUICacheEntries",
+            r"Software\Classes\Local Settings\...\MuiCache",
+            "NtOpenKeyEx(), NtQueryKey()",
+            Some(9.0),
+        ),
+        (
+            "FireruleCount",
+            r"SYSTEM\ControlSet001\...\FirewallRules",
+            "NtOpenKeyEx(), NtQueryKey()",
+            Some(31.0),
+        ),
+        (
+            "USBStorCount",
+            r"SYSTEM\CurrentControlSet\Services\UsbStor",
+            "NtOpenKeyEx(), NtQueryKey()",
+            Some(1.0),
+        ),
     ];
     let rows = spec
         .iter()

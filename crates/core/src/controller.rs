@@ -11,13 +11,14 @@ use std::sync::Arc;
 use crossbeam::channel::Receiver;
 use hooklib::{DllImage, Injector};
 use serde::{Deserialize, Serialize};
-use tracer::Trace;
+use tracer::{Telemetry, TelemetrySnapshot, Trace};
 use winsim::{Api, Machine, Pid, SimError};
 
 use crate::config::Config;
 use crate::crawler;
 use crate::engine::{DeceptionHook, EngineState, CORE_APIS, EXTRA_APIS, WEAR_APIS};
 use crate::ipc::{self, Trigger};
+use crate::profiles::Profile;
 use crate::resources::{ResourceDb, ResourceStats};
 
 /// The module name the injected DLL appears under.
@@ -73,28 +74,119 @@ impl std::fmt::Debug for Scarecrow {
     }
 }
 
+/// Step-by-step construction of a [`Scarecrow`] engine — the one path
+/// behind [`Scarecrow::new`], [`Scarecrow::with_builtin_db`], and
+/// [`Scarecrow::with_db`].
+///
+/// ```
+/// use std::sync::Arc;
+/// use scarecrow::{Config, ResourceDb, Scarecrow};
+///
+/// let db = Arc::new(ResourceDb::builtin());
+/// let engine = Scarecrow::builder(Config::default()).db(Arc::clone(&db)).build();
+/// assert!(engine.telemetry().is_some());
+/// ```
+#[derive(Debug)]
+pub struct ScarecrowBuilder {
+    config: Config,
+    db: Option<Arc<ResourceDb>>,
+    crawl: bool,
+    telemetry: bool,
+}
+
+impl ScarecrowBuilder {
+    /// Uses an explicit resource database. Accepts `ResourceDb` or
+    /// `Arc<ResourceDb>`; an `Arc` is shared, not cloned, so parallel
+    /// workers built from the same `Arc` reuse one database.
+    pub fn db(mut self, db: impl Into<Arc<ResourceDb>>) -> Self {
+        self.db = Some(db.into());
+        self
+    }
+
+    /// Extends the database with the public-sandbox crawl of Section II-C.
+    pub fn crawl(mut self) -> Self {
+        self.crawl = true;
+        self
+    }
+
+    /// Enables or disables telemetry collection (enabled by default).
+    pub fn telemetry(mut self, enabled: bool) -> Self {
+        self.telemetry = enabled;
+        self
+    }
+
+    /// Builds the engine.
+    pub fn build(self) -> Scarecrow {
+        let db = match (self.db, self.crawl) {
+            (Some(db), false) => db,
+            (Some(db), true) => {
+                let mut db = (*db).clone();
+                crawler::extend_db(&mut db, &crawler::crawl_public_sandboxes());
+                Arc::new(db)
+            }
+            (None, false) => Arc::new(ResourceDb::builtin()),
+            (None, true) => {
+                let mut db = ResourceDb::builtin();
+                crawler::extend_db(&mut db, &crawler::crawl_public_sandboxes());
+                Arc::new(db)
+            }
+        };
+        let (tx, rx) = ipc::channel();
+        let mut state = EngineState::new(self.config, db, tx);
+        if self.telemetry {
+            state.set_telemetry(Some(Arc::new(Telemetry::new(
+                Api::telemetry_slot_names(),
+                Profile::all().iter().map(|p| p.name()),
+            ))));
+        }
+        Scarecrow { state: Arc::new(state), rx }
+    }
+}
+
 impl Scarecrow {
+    /// Starts building an engine over a configuration. Defaults: the
+    /// curated builtin database, no crawl, telemetry enabled.
+    pub fn builder(config: Config) -> ScarecrowBuilder {
+        ScarecrowBuilder { config, db: None, crawl: false, telemetry: true }
+    }
+
     /// Builds the full engine: curated resources plus the public-sandbox
     /// crawl of Section II-C (17,540 files / 24 processes / 1,457 registry
     /// entries).
     pub fn new(config: Config) -> Self {
-        let mut db = ResourceDb::builtin();
-        let crawl = crawler::crawl_public_sandboxes();
-        crawler::extend_db(&mut db, &crawl);
-        Scarecrow::with_db(config, db)
+        Scarecrow::builder(config).crawl().build()
     }
 
     /// Builds an engine with only the curated core database (cheaper; used
     /// in unit tests and ablations).
     pub fn with_builtin_db(config: Config) -> Self {
-        Scarecrow::with_db(config, ResourceDb::builtin())
+        Scarecrow::builder(config).build()
     }
 
-    /// Builds an engine over an explicit database.
-    pub fn with_db(config: Config, db: ResourceDb) -> Self {
-        let (tx, rx) = ipc::channel();
-        let state = Arc::new(EngineState::new(config, Arc::new(db), tx));
-        Scarecrow { state, rx }
+    /// Builds an engine over an explicit database (`ResourceDb` or a
+    /// shared `Arc<ResourceDb>`).
+    pub fn with_db(config: Config, db: impl Into<Arc<ResourceDb>>) -> Self {
+        Scarecrow::builder(config).db(db).build()
+    }
+
+    /// A worker engine for a parallel sweep: same configuration, the
+    /// *same shared* database `Arc`, its own trigger channel, and its own
+    /// telemetry recorder (so worker snapshots merge without contention).
+    pub fn worker(&self) -> Scarecrow {
+        Scarecrow::builder(self.config())
+            .db(Arc::clone(&self.state.db))
+            .telemetry(self.telemetry().is_some())
+            .build()
+    }
+
+    /// The engine's telemetry recorder, when collection is enabled.
+    pub fn telemetry(&self) -> Option<&Arc<Telemetry>> {
+        self.state.telemetry()
+    }
+
+    /// A snapshot of the engine's telemetry, when collection is enabled.
+    pub fn telemetry_snapshot(&self) -> Option<TelemetrySnapshot> {
+        self.state.telemetry().map(|t| t.snapshot())
     }
 
     /// A snapshot of the engine configuration.
@@ -171,6 +263,9 @@ impl Scarecrow {
     ) -> Result<ProtectedRun, SimError> {
         self.state.reset();
         let _ = ipc::drain(&self.rx);
+        if machine.telemetry().is_none() {
+            machine.set_telemetry(self.state.telemetry().cloned());
+        }
         let controller = machine.add_system_process(CONTROLLER_IMAGE);
         machine.set_trace_root(image);
         let pid = self.injector().launch_injected(machine, image, controller)?;
@@ -188,7 +283,7 @@ impl Scarecrow {
 mod tests {
     use super::*;
     use std::sync::Arc as StdArc;
-    use winsim::{Program, ProcessCtx, System};
+    use winsim::{ProcessCtx, Program, System};
 
     /// The canonical evasive sample: checks the debugger, then drops.
     struct Evader;
@@ -286,8 +381,7 @@ mod tests {
         let engine = Scarecrow::with_builtin_db(Config::default());
         assert_eq!(CORE_APIS.len(), 29, "Section III-A: 29 hooked APIs");
         assert_eq!(engine.hooked_apis().len(), 29 + EXTRA_APIS.len() + WEAR_APIS.len());
-        let engine =
-            Scarecrow::with_builtin_db(Config { weartear: false, ..Config::default() });
+        let engine = Scarecrow::with_builtin_db(Config { weartear: false, ..Config::default() });
         assert_eq!(engine.hooked_apis().len(), 29 + EXTRA_APIS.len());
     }
 

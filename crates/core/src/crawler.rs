@@ -84,8 +84,7 @@ fn common_base() -> System {
 
 fn base_machine(sys: System) -> Machine {
     let mut m = Machine::new(sys);
-    for p in ["smss.exe", "csrss.exe", "winlogon.exe", "services.exe", "lsass.exe",
-              "svchost.exe"] {
+    for p in ["smss.exe", "csrss.exe", "winlogon.exe", "services.exe", "lsass.exe", "svchost.exe"] {
         m.add_system_process(p);
     }
     m
@@ -116,9 +115,20 @@ pub fn public_sandbox_virustotal() -> Machine {
     }
     sys.registry.create_key(r"HKLM\SOFTWARE\Oracle\VirtualBox Guest Additions");
     let mut m = base_machine(sys);
-    for p in ["python.exe", "agent.py", "VBoxService.exe", "VBoxTray.exe", "analyzer.exe",
-              "auxiliary.exe", "screenshotd.exe", "netlogd.exe", "humanmod.exe",
-              "dumpmemd.exe", "resultsrv.exe", "procmemd.exe"] {
+    for p in [
+        "python.exe",
+        "agent.py",
+        "VBoxService.exe",
+        "VBoxTray.exe",
+        "analyzer.exe",
+        "auxiliary.exe",
+        "screenshotd.exe",
+        "netlogd.exe",
+        "humanmod.exe",
+        "dumpmemd.exe",
+        "resultsrv.exe",
+        "procmemd.exe",
+    ] {
         m.add_system_process(p);
     }
     m
@@ -141,9 +151,20 @@ pub fn public_sandbox_malwr() -> Machine {
         sys.registry.create_key(&format!(r"HKLM\SOFTWARE\MalwrAgent\Hooks\h{i:04}"));
     }
     let mut m = base_machine(sys);
-    for p in ["pythonw.exe", "malwr-agent.exe", "sniffer.exe", "regshotd.exe",
-              "volatilityd.exe", "yarascand.exe", "ssdeepd.exe", "pcapd.exe",
-              "clamscand.exe", "unpackd.exe", "carved.exe", "droppedmond.exe"] {
+    for p in [
+        "pythonw.exe",
+        "malwr-agent.exe",
+        "sniffer.exe",
+        "regshotd.exe",
+        "volatilityd.exe",
+        "yarascand.exe",
+        "ssdeepd.exe",
+        "pcapd.exe",
+        "clamscand.exe",
+        "unpackd.exe",
+        "carved.exe",
+        "droppedmond.exe",
+    ] {
         m.add_system_process(p);
     }
     m

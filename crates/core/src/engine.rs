@@ -13,7 +13,7 @@ use std::sync::Arc;
 
 use crossbeam::channel::Sender;
 use parking_lot::{Mutex, RwLock};
-use tracer::EventKind;
+use tracer::{EventKind, Telemetry};
 use winsim::env as wenv;
 use winsim::{Api, ApiCall, ApiHook, NtStatus, Pid, Value};
 
@@ -91,6 +91,7 @@ pub struct EngineState {
     tx: Sender<Trigger>,
     spawn_counts: Mutex<HashMap<String, usize>>,
     alarms: Mutex<Vec<String>>,
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl std::fmt::Debug for EngineState {
@@ -111,7 +112,19 @@ impl EngineState {
             tx,
             spawn_counts: Mutex::new(HashMap::new()),
             alarms: Mutex::new(Vec::new()),
+            telemetry: None,
         }
+    }
+
+    /// Attaches a telemetry recorder (before the state is shared); every
+    /// subsequent deception trigger is counted per API and per profile.
+    pub fn set_telemetry(&mut self, telemetry: Option<Arc<Telemetry>>) {
+        self.telemetry = telemetry;
+    }
+
+    /// The attached telemetry recorder, if any.
+    pub fn telemetry(&self) -> Option<&Arc<Telemetry>> {
+        self.telemetry.as_ref()
     }
 
     /// Resets per-run state (between protected runs).
@@ -128,6 +141,9 @@ impl EngineState {
 
     fn report(&self, call: &mut ApiCall<'_>, category: Category, resource: &str, profile: Profile) {
         self.profiles.triggered(profile);
+        if let Some(t) = &self.telemetry {
+            t.record_deception(call.api as usize, profile.name());
+        }
         let time_ms = call.machine().system().clock.now_ms();
         let _ = self.tx.send(Trigger {
             api: call.api,
@@ -321,9 +337,7 @@ fn handle(state: &EngineState, call: &mut ApiCall<'_>) -> Value {
                 *c
             };
             if count == cfg.spawn_alarm_threshold {
-                let msg = format!(
-                    "self-spawn loop: {image} created {count} times under deception"
-                );
+                let msg = format!("self-spawn loop: {image} created {count} times under deception");
                 state.alarms.lock().push(msg.clone());
                 let pid = call.pid;
                 call.machine().record(pid, EventKind::Alarm { message: msg });
@@ -390,16 +404,13 @@ fn handle(state: &EngineState, call: &mut ApiCall<'_>) -> Value {
             }
             let mut merged: Vec<Value> = original.as_list().unwrap_or(&[]).to_vec();
             let mut reported = false;
-            let extra: Vec<String> = state
-                .db
-                .process_names()
-                .map(str::to_owned)
-                .collect();
+            let extra: Vec<String> = state.db.process_names().map(str::to_owned).collect();
             for name in extra {
                 if let Some(p) = state.active(state.db.process(&name)) {
-                    if !merged.iter().any(|v| {
-                        v.as_str().is_some_and(|s| s.eq_ignore_ascii_case(&name))
-                    }) {
+                    if !merged
+                        .iter()
+                        .any(|v| v.as_str().is_some_and(|s| s.eq_ignore_ascii_case(&name)))
+                    {
                         merged.push(Value::Str(name.clone()));
                     }
                     if !reported {
@@ -526,11 +537,8 @@ fn handle(state: &EngineState, call: &mut ApiCall<'_>) -> Value {
         Api::GetModuleFileName => {
             if cfg.software {
                 let pid = call.pid;
-                let image = call
-                    .machine()
-                    .process(pid)
-                    .map(|p| p.image.clone())
-                    .unwrap_or_default();
+                let image =
+                    call.machine().process(pid).map(|p| p.image.clone()).unwrap_or_default();
                 state.report(call, Category::Identity, "sample path", Profile::Generic);
                 Value::Str(format!("{}\\{}.exe", cfg.fake_sample_dir, hash_name(&image)))
             } else {
@@ -607,9 +615,7 @@ fn handle(state: &EngineState, call: &mut ApiCall<'_>) -> Value {
                 let limit = (call.args.u64(0) as usize).min(state.wear.sys_events);
                 state.report(call, Category::WearTear, "system events", Profile::Generic);
                 let srcs = &state.wear.event_sources;
-                Value::List(
-                    (0..limit).map(|i| Value::Str(srcs[i % srcs.len()].clone())).collect(),
-                )
+                Value::List((0..limit).map(|i| Value::Str(srcs[i % srcs.len()].clone())).collect())
             } else {
                 call.call_original()
             }
@@ -627,9 +633,10 @@ fn handle(state: &EngineState, call: &mut ApiCall<'_>) -> Value {
                     let mut reported = false;
                     for name in state.db.process_names().map(str::to_owned).collect::<Vec<_>>() {
                         if let Some(p) = state.active(state.db.process(&name)) {
-                            if !merged.iter().any(|v| {
-                                v.as_str().is_some_and(|s| s.eq_ignore_ascii_case(&name))
-                            }) {
+                            if !merged
+                                .iter()
+                                .any(|v| v.as_str().is_some_and(|s| s.eq_ignore_ascii_case(&name)))
+                            {
                                 merged.push(Value::Str(name));
                             }
                             if !reported {
@@ -659,9 +666,7 @@ impl EngineState {
         self.db
             .files_iter()
             .filter(|(path, profile)| {
-                self.profiles.active(*profile)
-                    && path.starts_with(prefix)
-                    && path.ends_with(suffix)
+                self.profiles.active(*profile) && path.starts_with(prefix) && path.ends_with(suffix)
             })
             .map(|(path, profile)| (path.to_owned(), profile))
             .collect()
@@ -694,7 +699,8 @@ mod tests {
     fn registry_key_deception_and_trigger() {
         let (state, rx) = engine();
         let (mut m, pid) = hooked_machine(&state);
-        let v = m.call_api(pid, Api::RegOpenKeyEx, args![r"HKLM\SOFTWARE\VMware, Inc.\VMware Tools"]);
+        let v =
+            m.call_api(pid, Api::RegOpenKeyEx, args![r"HKLM\SOFTWARE\VMware, Inc.\VMware Tools"]);
         assert_eq!(v.as_status(), NtStatus::Success);
         let triggers = ipc::drain(&rx);
         assert_eq!(triggers.len(), 1);
@@ -757,7 +763,8 @@ mod tests {
             Some("1.2.3.4")
         );
         assert!(ipc::drain(&rx).is_empty());
-        let v = m.call_api(pid, Api::DnsQuery, args!["iuqerfsodp9ifjaposdfjhgosurijfaewrwergwea.test"]);
+        let v =
+            m.call_api(pid, Api::DnsQuery, args!["iuqerfsodp9ifjaposdfjhgosurijfaewrwergwea.test"]);
         assert_eq!(v.as_str(), Some("10.11.12.13"));
         assert_eq!(ipc::drain(&rx)[0].category, Category::Network);
         // HTTP against the sinkholed domain answers 200
@@ -770,8 +777,7 @@ mod tests {
         let (state, _rx) = engine();
         let (mut m, pid) = hooked_machine(&state);
         let list = m.call_api(pid, Api::EnumProcesses, args![]);
-        let names: Vec<&str> =
-            list.as_list().unwrap().iter().filter_map(Value::as_str).collect();
+        let names: Vec<&str> = list.as_list().unwrap().iter().filter_map(Value::as_str).collect();
         assert!(names.iter().any(|n| n.eq_ignore_ascii_case("olydbg.exe")));
         assert!(names.iter().any(|n| n.eq_ignore_ascii_case("VBoxService.exe")));
     }
@@ -787,7 +793,10 @@ mod tests {
         assert_eq!(ipc::drain(&rx)[0].category, Category::Process);
         // unprotected processes still die
         let bystander = m.add_system_process("randomapp.exe");
-        assert_eq!(m.call_api(pid, Api::TerminateProcess, args![u64::from(bystander)]), Value::Bool(true));
+        assert_eq!(
+            m.call_api(pid, Api::TerminateProcess, args![u64::from(bystander)]),
+            Value::Bool(true)
+        );
     }
 
     #[test]
@@ -828,13 +837,8 @@ mod tests {
     #[test]
     fn active_mitigation_kills_the_loop() {
         let (tx, _rx) = ipc::channel();
-        let cfg = Config {
-            active_mitigation: true,
-            spawn_alarm_threshold: 5,
-            ..Config::default()
-        };
-        let state =
-            Arc::new(EngineState::new(cfg, Arc::new(ResourceDb::builtin()), tx));
+        let cfg = Config { active_mitigation: true, spawn_alarm_threshold: 5, ..Config::default() };
+        let state = Arc::new(EngineState::new(cfg, Arc::new(ResourceDb::builtin()), tx));
         let (mut m, pid) = hooked_machine(&state);
         let mut blocked = false;
         for _ in 0..10 {
@@ -866,20 +870,18 @@ mod tests {
         );
         assert!(ipc::drain(&rx).is_empty());
         // but the hooks are still *visible* to anti-hook checks
-        assert!(hooklib::check_hook(
-            &m.process(pid).unwrap().api_prologue(Api::IsDebuggerPresent)
-        ));
+        assert!(hooklib::check_hook(&m.process(pid).unwrap().api_prologue(Api::IsDebuggerPresent)));
     }
 
     #[test]
     fn exclusive_profiles_silence_conflicts() {
         let (tx, _rx) = ipc::channel();
         let cfg = Config { exclusive_profiles: true, ..Config::default() };
-        let state =
-            Arc::new(EngineState::new(cfg, Arc::new(ResourceDb::builtin()), tx));
+        let state = Arc::new(EngineState::new(cfg, Arc::new(ResourceDb::builtin()), tx));
         let (mut m, pid) = hooked_machine(&state);
         // first fingerprint: VMware
-        let v = m.call_api(pid, Api::RegOpenKeyEx, args![r"HKLM\SOFTWARE\VMware, Inc.\VMware Tools"]);
+        let v =
+            m.call_api(pid, Api::RegOpenKeyEx, args![r"HKLM\SOFTWARE\VMware, Inc.\VMware Tools"]);
         assert_eq!(v.as_status(), NtStatus::Success);
         // VirtualBox resources now deny — no contradiction visible
         let v = m.call_api(

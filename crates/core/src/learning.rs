@@ -82,9 +82,9 @@ impl ResourceDb {
             }
             // these classes are answered by the always-on hooks, not by
             // database entries
-            SignatureKind::Debugger(_)
-            | SignatureKind::Dns(_)
-            | SignatureKind::SystemInfo(_) => LearnOutcome::CoveredByCategory,
+            SignatureKind::Debugger(_) | SignatureKind::Dns(_) | SignatureKind::SystemInfo(_) => {
+                LearnOutcome::CoveredByCategory
+            }
         }
     }
 
@@ -121,10 +121,7 @@ mod tests {
         let s = sig(SignatureKind::File(r"C:\Windows\System32\drivers\vmmouse.sys".into()));
         assert_eq!(db.learn(&s), LearnOutcome::AlreadyKnown);
         // profile stays what the curated core said
-        assert_eq!(
-            db.file(r"C:\Windows\System32\drivers\vmmouse.sys"),
-            Some(Profile::VMware)
-        );
+        assert_eq!(db.file(r"C:\Windows\System32\drivers\vmmouse.sys"), Some(Profile::VMware));
     }
 
     #[test]

@@ -65,7 +65,7 @@ mod resources;
 mod summary;
 
 pub use config::{Config, ConfigError, WearTearFakes};
-pub use controller::{ProtectedRun, Scarecrow, CONTROLLER_IMAGE, DLL_NAME};
+pub use controller::{ProtectedRun, Scarecrow, ScarecrowBuilder, CONTROLLER_IMAGE, DLL_NAME};
 pub use ipc::Trigger;
 pub use learning::{LearnOutcome, LEARNED_VALUE_DATA};
 pub use profiles::{Profile, ProfileManager};

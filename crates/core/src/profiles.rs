@@ -70,6 +70,46 @@ impl Profile {
         ]
     }
 
+    /// Every profile, platform and pseudo alike (telemetry slot order).
+    pub fn all() -> &'static [Profile] {
+        &[
+            Profile::VMware,
+            Profile::VirtualBox,
+            Profile::Sandboxie,
+            Profile::Cuckoo,
+            Profile::Debugger,
+            Profile::Wine,
+            Profile::Qemu,
+            Profile::Bochs,
+            Profile::Parallels,
+            Profile::Xen,
+            Profile::HyperV,
+            Profile::PublicSandbox,
+            Profile::Learned,
+            Profile::Generic,
+        ]
+    }
+
+    /// Stable human-readable name (also the `Display` form).
+    pub fn name(self) -> &'static str {
+        match self {
+            Profile::VMware => "VMware",
+            Profile::VirtualBox => "VirtualBox",
+            Profile::Sandboxie => "Sandboxie",
+            Profile::Cuckoo => "Cuckoo",
+            Profile::Debugger => "Debugger",
+            Profile::Wine => "Wine",
+            Profile::Qemu => "QEMU",
+            Profile::Bochs => "Bochs",
+            Profile::PublicSandbox => "public sandbox",
+            Profile::Parallels => "Parallels",
+            Profile::Xen => "Xen",
+            Profile::HyperV => "Hyper-V",
+            Profile::Learned => "learned",
+            Profile::Generic => "generic",
+        }
+    }
+
     fn id(self) -> u8 {
         match self {
             Profile::VMware => 1,
@@ -92,23 +132,7 @@ impl Profile {
 
 impl std::fmt::Display for Profile {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let s = match self {
-            Profile::VMware => "VMware",
-            Profile::VirtualBox => "VirtualBox",
-            Profile::Sandboxie => "Sandboxie",
-            Profile::Cuckoo => "Cuckoo",
-            Profile::Debugger => "Debugger",
-            Profile::Wine => "Wine",
-            Profile::Qemu => "QEMU",
-            Profile::Bochs => "Bochs",
-            Profile::PublicSandbox => "public sandbox",
-            Profile::Parallels => "Parallels",
-            Profile::Xen => "Xen",
-            Profile::HyperV => "Hyper-V",
-            Profile::Learned => "learned",
-            Profile::Generic => "generic",
-        };
-        f.write_str(s)
+        f.write_str(self.name())
     }
 }
 

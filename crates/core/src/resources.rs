@@ -165,10 +165,7 @@ impl ResourceDb {
         }
         // folder query: does any deceptive entry live under this path?
         let prefix = format!("{n}\\");
-        self.files
-            .iter()
-            .find(|(k, _)| k.starts_with(&prefix))
-            .map(|(_, p)| *p)
+        self.files.iter().find(|(k, _)| k.starts_with(&prefix)).map(|(_, p)| *p)
     }
 
     /// Iterates over all deceptive file paths (normalized lowercase) with
@@ -230,7 +227,8 @@ impl ResourceDb {
     pub fn filter_profiles(&self, keep: &[Profile]) -> ResourceDb {
         let keeps = |p: &Profile| keep.contains(p);
         let mut out = ResourceDb::new();
-        out.files = self.files.iter().filter(|(_, p)| keeps(p)).map(|(k, p)| (k.clone(), *p)).collect();
+        out.files =
+            self.files.iter().filter(|(_, p)| keeps(p)).map(|(k, p)| (k.clone(), *p)).collect();
         out.devices =
             self.devices.iter().filter(|(_, p)| keeps(p)).map(|(k, p)| (k.clone(), *p)).collect();
         for (name, p) in self.processes.iter().filter(|(_, p)| keeps(p)) {
@@ -275,10 +273,9 @@ impl ResourceDb {
 
         // (a) files & folders — VM drivers, guest-addition trees, sandbox
         // folders, popular debugger installs.
-        for f in [
-            r"C:\Windows\System32\drivers\vmmouse.sys",
-            r"C:\Windows\System32\drivers\vmhgfs.sys",
-        ] {
+        for f in
+            [r"C:\Windows\System32\drivers\vmmouse.sys", r"C:\Windows\System32\drivers\vmhgfs.sys"]
+        {
             db.add_file(f, Profile::VMware);
         }
         for f in [
@@ -291,8 +288,11 @@ impl ResourceDb {
         ] {
             db.add_file(f, Profile::VirtualBox);
         }
-        for f in [r"C:\analysis\sample.exe", r"C:\sandbox\starter.exe", r"C:\iDEFENSE\SysAnalyzer\sniff_hit.exe"]
-        {
+        for f in [
+            r"C:\analysis\sample.exe",
+            r"C:\sandbox\starter.exe",
+            r"C:\iDEFENSE\SysAnalyzer\sniff_hit.exe",
+        ] {
             db.add_file(f, Profile::Generic);
         }
         for f in [
@@ -363,8 +363,9 @@ impl ResourceDb {
         }
 
         // (d) 6 debugger windows + 4 sandbox windows.
-        for w in ["OLLYDBG", "WinDbgFrameClass", "ID", "Zeta Debugger", "Rock Debugger",
-                  "ObsidianGUI"] {
+        for w in
+            ["OLLYDBG", "WinDbgFrameClass", "ID", "Zeta Debugger", "Rock Debugger", "ObsidianGUI"]
+        {
             db.add_window(w, Profile::Debugger);
         }
         db.add_window("SandboxieControlWndClass", Profile::Sandboxie);
@@ -473,10 +474,7 @@ mod tests {
     #[test]
     fn file_lookup_is_case_insensitive_and_folder_aware() {
         let db = ResourceDb::builtin();
-        assert_eq!(
-            db.file(r"c:\windows\system32\drivers\VMMOUSE.SYS"),
-            Some(Profile::VMware)
-        );
+        assert_eq!(db.file(r"c:\windows\system32\drivers\VMMOUSE.SYS"), Some(Profile::VMware));
         // querying the folder that contains a deceptive entry also matches
         assert_eq!(db.file(r"C:\analysis"), Some(Profile::Generic));
         assert_eq!(db.file(r"C:\Program Files\Oracle"), Some(Profile::VirtualBox));
@@ -513,10 +511,7 @@ mod tests {
         assert_eq!(ext.reg_key(r"HKLM\SOFTWARE\Parallels\Tools"), Some(Profile::Parallels));
         assert_eq!(ext.process("PRL_CC.EXE"), Some(Profile::Parallels));
         assert_eq!(ext.device("prl_tg"), Some(Profile::Parallels));
-        assert_eq!(
-            ext.file(r"C:\Windows\System32\drivers\xen.sys"),
-            Some(Profile::Xen)
-        );
+        assert_eq!(ext.file(r"C:\Windows\System32\drivers\xen.sys"), Some(Profile::Xen));
         assert_eq!(ext.dll("vmbuspipe.dll"), Some(Profile::HyperV));
         assert!(ext.stats().processes > core.stats().processes);
         // the paper-exact core is untouched

@@ -35,8 +35,7 @@ impl TriggerSummary {
             *summary.by_api.entry(t.api.name().to_owned()).or_default() += 1;
             *summary.by_profile.entry(t.profile.to_string()).or_default() += 1;
             resources.insert(t.resource.clone());
-            summary.first_at_ms =
-                Some(summary.first_at_ms.map_or(t.time_ms, |f| f.min(t.time_ms)));
+            summary.first_at_ms = Some(summary.first_at_ms.map_or(t.time_ms, |f| f.min(t.time_ms)));
         }
         summary.distinct_resources = resources.len();
         summary
@@ -60,11 +59,7 @@ impl TriggerSummary {
 
 impl std::fmt::Display for TriggerSummary {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "{} triggers over {} resources",
-            self.total, self.distinct_resources
-        )?;
+        write!(f, "{} triggers over {} resources", self.total, self.distinct_resources)?;
         if let Some((api, n)) = self.hottest_api() {
             write!(f, "; hottest API {api} ({n}x)")?;
         }

@@ -46,12 +46,8 @@ fn registry_family_matrix() {
     }
     // deceptive values answer with their configured data
     for api in [Api::RegQueryValueEx, Api::NtQueryValueKey] {
-        let v = call(
-            &mut m,
-            pid,
-            api,
-            args![r"HKLM\HARDWARE\Description\System", "VideoBiosVersion"],
-        );
+        let v =
+            call(&mut m, pid, api, args![r"HKLM\HARDWARE\Description\System", "VideoBiosVersion"]);
         assert!(v.as_str().unwrap().contains("VIRTUALBOX"), "{api}");
     }
     // non-deceptive keys still miss
@@ -66,17 +62,17 @@ fn registry_family_matrix() {
 fn file_and_device_matrix() {
     let (_e, mut m, pid) = protected_machine(Config::default());
     for api in [Api::NtQueryAttributesFile, Api::NtCreateFile, Api::CreateFile] {
-        let v = call(
-            &mut m,
-            pid,
-            api,
-            args![r"C:\Windows\System32\drivers\VBoxGuest.sys", "open"],
-        );
+        let v = call(&mut m, pid, api, args![r"C:\Windows\System32\drivers\VBoxGuest.sys", "open"]);
         assert_eq!(v.as_status(), NtStatus::Success, "{api}");
     }
     assert_eq!(
-        call(&mut m, pid, Api::GetFileAttributes, args![r"C:\Windows\System32\drivers\vmmouse.sys"])
-            .as_u64(),
+        call(
+            &mut m,
+            pid,
+            Api::GetFileAttributes,
+            args![r"C:\Windows\System32\drivers\vmmouse.sys"]
+        )
+        .as_u64(),
         Some(0x80)
     );
     // deceptive devices open; unknown devices do not
@@ -100,7 +96,9 @@ fn find_first_file_merges_deceptive_matches() {
     m.system_mut().fs.create(r"C:\Windows\System32\drivers\realdisk.sys", 1, "t");
     let v = call(&mut m, pid, Api::FindFirstFile, args![r"C:\Windows\System32\drivers\*.sys"]);
     let names: Vec<&str> = v.as_list().unwrap().iter().filter_map(Value::as_str).collect();
-    assert!(names.iter().any(|n| n.eq_ignore_ascii_case(r"c:\windows\system32\drivers\realdisk.sys")));
+    assert!(names
+        .iter()
+        .any(|n| n.eq_ignore_ascii_case(r"c:\windows\system32\drivers\realdisk.sys")));
     assert!(names.iter().any(|n| n.to_ascii_lowercase().ends_with("vboxmouse.sys")));
 }
 
@@ -109,7 +107,10 @@ fn module_and_window_matrix() {
     let (_e, mut m, pid) = protected_machine(Config::default());
     assert!(call(&mut m, pid, Api::GetModuleHandle, args!["SbieDll.dll"]).as_u64().unwrap() != 0);
     assert!(call(&mut m, pid, Api::LoadLibrary, args!["cuckoomon.dll"]).as_u64().unwrap() != 0);
-    assert_eq!(call(&mut m, pid, Api::GetModuleHandle, args!["user32.dll"]).as_u64(), Some(0x1000_0000));
+    assert_eq!(
+        call(&mut m, pid, Api::GetModuleHandle, args!["user32.dll"]).as_u64(),
+        Some(0x1000_0000)
+    );
     let modules = call(&mut m, pid, Api::EnumModules, args![]);
     let names: Vec<&str> = modules.as_list().unwrap().iter().filter_map(Value::as_str).collect();
     assert!(names.iter().any(|n| n.eq_ignore_ascii_case("SbieDll.dll")));
@@ -130,8 +131,7 @@ fn module_and_window_matrix() {
 #[test]
 fn toolhelp_snapshots_contain_planted_processes() {
     let (_e, mut m, pid) = protected_machine(Config::default());
-    let handle =
-        call(&mut m, pid, Api::CreateToolhelp32Snapshot, args![]).as_u64().unwrap();
+    let handle = call(&mut m, pid, Api::CreateToolhelp32Snapshot, args![]).as_u64().unwrap();
     let mut seen = Vec::new();
     while let Value::Str(s) = call(&mut m, pid, Api::Process32Next, args![handle]) {
         seen.push(s);
@@ -140,10 +140,8 @@ fn toolhelp_snapshots_contain_planted_processes() {
     assert!(seen.iter().any(|p| p.eq_ignore_ascii_case("VBoxTray.exe")));
     assert!(seen.iter().any(|p| p == "explorer.exe"), "real processes remain");
     // software category off: the snapshot is honest
-    let (_e, mut m, pid) =
-        protected_machine(Config { software: false, ..Config::default() });
-    let handle =
-        call(&mut m, pid, Api::CreateToolhelp32Snapshot, args![]).as_u64().unwrap();
+    let (_e, mut m, pid) = protected_machine(Config { software: false, ..Config::default() });
+    let handle = call(&mut m, pid, Api::CreateToolhelp32Snapshot, args![]).as_u64().unwrap();
     let mut seen = Vec::new();
     while let Value::Str(s) = call(&mut m, pid, Api::Process32Next, args![handle]) {
         seen.push(s);
@@ -167,7 +165,11 @@ fn category_switches_gate_their_hooks_independently() {
     // hardware off, software on
     let (_e, mut m, pid) = protected_machine(Config { hardware: false, ..Config::default() });
     assert_eq!(call(&mut m, pid, Api::GetSystemInfo, args![]).as_u64(), Some(4), "real cores");
-    assert_eq!(call(&mut m, pid, Api::IsDebuggerPresent, args![]), Value::Bool(true), "software still lies");
+    assert_eq!(
+        call(&mut m, pid, Api::IsDebuggerPresent, args![]),
+        Value::Bool(true),
+        "software still lies"
+    );
 
     // software off, hardware on
     let (_e, mut m, pid) = protected_machine(Config { software: false, ..Config::default() });

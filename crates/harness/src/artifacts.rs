@@ -46,8 +46,8 @@ fn save<T: Serialize>(value: &T, path: &Path) -> Result<(), ArtifactError> {
 }
 
 fn load<T: DeserializeOwned>(path: &Path) -> Result<T, ArtifactError> {
-    let bytes = std::fs::read(path)
-        .map_err(|e| ArtifactError::Io(path.display().to_string(), e))?;
+    let bytes =
+        std::fs::read(path).map_err(|e| ArtifactError::Io(path.display().to_string(), e))?;
     serde_json::from_slice(&bytes).map_err(ArtifactError::Json)
 }
 

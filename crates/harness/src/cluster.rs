@@ -1,10 +1,11 @@
 //! The cluster: per-sample paired execution with Deep-Freeze semantics.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use malware_sim::CorpusSample;
 use scarecrow::{Config, ProtectedRun, ResourceDb, Scarecrow};
-use tracer::{Trace, Verdict};
+use tracer::{Counter, Stage, Telemetry, TelemetrySnapshot, Trace, Verdict};
 use winsim::{Machine, Program};
 
 use crate::report::{CorpusReport, SampleResult};
@@ -73,10 +74,29 @@ impl Cluster {
         &self.engine
     }
 
+    /// The engine's telemetry recorder, when collection is enabled.
+    pub fn telemetry(&self) -> Option<&Arc<Telemetry>> {
+        self.engine.telemetry()
+    }
+
+    /// A snapshot of the engine's telemetry, when collection is enabled.
+    pub fn telemetry_snapshot(&self) -> Option<TelemetrySnapshot> {
+        self.engine.telemetry_snapshot()
+    }
+
+    fn record_stage(&self, stage: Stage, started: Instant) {
+        if let Some(t) = self.engine.telemetry() {
+            t.record_stage(stage, started.elapsed());
+        }
+    }
+
     fn fresh_machine(&self) -> Machine {
+        let started = Instant::now();
         let mut m = (self.factory)();
         m.budget_ms = self.limits.budget_ms;
         m.max_processes = self.limits.max_processes;
+        m.set_telemetry(self.engine.telemetry().cloned());
+        self.record_stage(Stage::MachineReset, started);
         m
     }
 
@@ -86,7 +106,9 @@ impl Cluster {
         let image = program.image_name().to_owned();
         let mut m = self.fresh_machine();
         m.register_program(program);
+        let started = Instant::now();
         m.run_sample(&image).expect("registered image");
+        self.record_stage(Stage::BaselineRun, started);
         let trace = m.take_trace();
         (m, trace)
     }
@@ -96,7 +118,9 @@ impl Cluster {
         let image = program.image_name().to_owned();
         let mut m = self.fresh_machine();
         m.register_program(program);
+        let started = Instant::now();
         let run = self.engine.run_protected(&mut m, &image).expect("registered image");
+        self.record_stage(Stage::ProtectedRun, started);
         (m, run)
     }
 
@@ -105,25 +129,74 @@ impl Cluster {
     pub fn run_pair(&self, program: Arc<dyn Program>) -> RunPair {
         let (_, baseline) = self.run_baseline(Arc::clone(&program));
         let (_, protected) = self.run_protected(program);
+        let started = Instant::now();
         let verdict = Verdict::decide(&baseline, &protected.trace);
+        self.record_stage(Stage::Verdict, started);
         RunPair { baseline, protected, verdict }
     }
 
-    /// Runs the whole corpus sequentially.
+    /// Runs the whole corpus sequentially. Telemetry (when enabled) is
+    /// reset first, so the report's snapshot covers exactly this sweep.
     pub fn run_corpus(&self, corpus: &[CorpusSample]) -> CorpusReport {
+        if let Some(t) = self.engine.telemetry() {
+            t.reset();
+        }
         let results = corpus.iter().map(|s| self.run_corpus_sample(s)).collect();
-        CorpusReport::new(results)
+        CorpusReport::new(results).with_telemetry(self.telemetry_snapshot())
     }
 
     fn run_corpus_sample(&self, s: &CorpusSample) -> SampleResult {
         let pair = self.run_pair(s.sample.clone().into_program());
+        if let Some(t) = self.engine.telemetry() {
+            t.incr(Counter::SamplesRun);
+        }
         SampleResult::from_pair(s, &pair)
     }
 
-    /// Runs the corpus across `workers` threads, each with its own engine
-    /// clone (engine state is per-run; machines are per-run too, so worker
-    /// isolation mirrors the paper's independent cluster nodes).
-    pub fn run_corpus_parallel(
+    /// Runs the corpus across `workers` threads, each on a
+    /// [`Scarecrow::worker`] engine sharing this cluster's database `Arc`,
+    /// machine factory, and limits (worker isolation mirrors the paper's
+    /// independent cluster nodes). Per-worker telemetry snapshots are
+    /// merged into the report's snapshot, so a parallel sweep aggregates
+    /// to the same counts as [`Cluster::run_corpus`].
+    pub fn run_corpus_parallel(&self, corpus: &[CorpusSample], workers: usize) -> CorpusReport {
+        let workers = workers.max(1);
+        let chunk = corpus.len().div_ceil(workers).max(1);
+        let mut results: Vec<Option<SampleResult>> = vec![None; corpus.len()];
+        let mut snapshots: Vec<TelemetrySnapshot> = Vec::new();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (wi, samples) in corpus.chunks(chunk).enumerate() {
+                let worker = Cluster::new(Arc::clone(&self.factory), self.engine.worker())
+                    .with_limits(self.limits);
+                handles.push((
+                    wi,
+                    scope.spawn(move || {
+                        let results =
+                            samples.iter().map(|s| worker.run_corpus_sample(s)).collect::<Vec<_>>();
+                        (results, worker.telemetry_snapshot())
+                    }),
+                ));
+            }
+            for (wi, handle) in handles {
+                let (worker_results, snapshot) = handle.join().expect("worker panicked");
+                for (i, r) in worker_results.into_iter().enumerate() {
+                    results[wi * chunk + i] = Some(r);
+                }
+                snapshots.extend(snapshot);
+            }
+        });
+        let telemetry = (!snapshots.is_empty()).then(|| TelemetrySnapshot::merged(snapshots));
+        CorpusReport::new(results.into_iter().map(|r| r.expect("all samples ran")).collect())
+            .with_telemetry(telemetry)
+    }
+
+    /// Legacy detached parallel sweep.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build a Cluster and call the run_corpus_parallel instance method"
+    )]
+    pub fn run_corpus_parallel_with(
         corpus: &[CorpusSample],
         factory: MachineFactory,
         config: &Config,
@@ -131,34 +204,8 @@ impl Cluster {
         limits: RunLimits,
         workers: usize,
     ) -> CorpusReport {
-        let workers = workers.max(1);
-        let chunk = corpus.len().div_ceil(workers);
-        let mut results: Vec<Option<SampleResult>> = vec![None; corpus.len()];
-        std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for (wi, samples) in corpus.chunks(chunk).enumerate() {
-                let factory = Arc::clone(&factory);
-                let config = config.clone();
-                let db = db.clone();
-                handles.push((
-                    wi,
-                    scope.spawn(move || {
-                        let engine = Scarecrow::with_db(config, db);
-                        let cluster = Cluster::new(factory, engine).with_limits(limits);
-                        samples
-                            .iter()
-                            .map(|s| cluster.run_corpus_sample(s))
-                            .collect::<Vec<_>>()
-                    }),
-                ));
-            }
-            for (wi, handle) in handles {
-                for (i, r) in handle.join().expect("worker panicked").into_iter().enumerate() {
-                    results[wi * chunk + i] = Some(r);
-                }
-            }
-        });
-        CorpusReport::new(results.into_iter().map(|r| r.expect("all samples ran")).collect())
+        let engine = Scarecrow::with_db(config.clone(), db.clone());
+        Cluster::new(factory, engine).with_limits(limits).run_corpus_parallel(corpus, workers)
     }
 }
 
@@ -191,10 +238,7 @@ mod tests {
     use winsim::env::bare_metal_sandbox;
 
     fn cluster() -> Cluster {
-        Cluster::new(
-            Arc::new(bare_metal_sandbox),
-            Scarecrow::with_builtin_db(Config::default()),
-        )
+        Cluster::new(Arc::new(bare_metal_sandbox), Scarecrow::with_builtin_db(Config::default()))
     }
 
     #[test]
@@ -261,18 +305,55 @@ mod tests {
         let limits = RunLimits { budget_ms: 60_000, max_processes: 60 };
         let c = cluster().with_limits(limits);
         let seq = c.run_corpus(&corpus);
-        let par = Cluster::run_corpus_parallel(
-            &corpus,
-            Arc::new(bare_metal_sandbox),
-            &Config::default(),
-            &ResourceDb::builtin(),
-            limits,
-            4,
-        );
+        let par = c.run_corpus_parallel(&corpus, 4);
         assert_eq!(seq.deactivated(), par.deactivated());
         for (a, b) in seq.results().iter().zip(par.results()) {
             assert_eq!(a.md5, b.md5);
             assert_eq!(a.verdict, b.verdict);
         }
+        // the N workers' merged telemetry counters sum to exactly the
+        // sequential sweep's counts
+        let seq_t = seq.telemetry().expect("telemetry on by default");
+        let par_t = par.telemetry().expect("telemetry on by default");
+        assert!(!seq_t.is_empty());
+        assert!(seq_t.counters_agree(par_t), "seq {seq_t:#?}\npar {par_t:#?}");
+        assert_eq!(seq_t.counters.get("samples_run"), Some(&(corpus.len() as u64)));
+        assert_eq!(seq, par, "report equality covers results + counters");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_detached_parallel_sweep_still_works() {
+        let corpus: Vec<_> = malgene_corpus(3).into_iter().take(8).collect();
+        let limits = RunLimits { budget_ms: 60_000, max_processes: 60 };
+        let par = Cluster::run_corpus_parallel_with(
+            &corpus,
+            Arc::new(bare_metal_sandbox),
+            &Config::default(),
+            &ResourceDb::builtin(),
+            limits,
+            2,
+        );
+        let seq = cluster().with_limits(limits).run_corpus(&corpus);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn telemetry_disabled_dispatch_returns_identical_values() {
+        let enabled = Scarecrow::with_builtin_db(Config::default());
+        let disabled = Scarecrow::builder(Config::default()).telemetry(false).build();
+        assert!(enabled.telemetry().is_some());
+        assert!(disabled.telemetry().is_none());
+        let corpus: Vec<_> = malgene_corpus(3).into_iter().take(8).collect();
+        let limits = RunLimits { budget_ms: 60_000, max_processes: 60 };
+        let with_t = Cluster::new(Arc::new(bare_metal_sandbox), enabled)
+            .with_limits(limits)
+            .run_corpus(&corpus);
+        let without_t = Cluster::new(Arc::new(bare_metal_sandbox), disabled)
+            .with_limits(limits)
+            .run_corpus(&corpus);
+        assert!(without_t.telemetry().is_none());
+        // counting must never change what the dispatch returns
+        assert_eq!(with_t.results(), without_t.results());
     }
 }

@@ -5,7 +5,7 @@ use std::collections::BTreeMap;
 
 use malware_sim::SampleClass;
 use serde::{Deserialize, Serialize};
-use tracer::Verdict;
+use tracer::{TelemetrySnapshot, Verdict};
 
 /// One corpus sample's outcome.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -46,15 +46,45 @@ pub struct FamilyRow {
 }
 
 /// The full corpus report (Section IV-C / Figure 4).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Equality compares the per-sample results and the *deterministic* part
+/// of the telemetry snapshot
+/// ([`TelemetrySnapshot::counters_agree`]) — wall-clock stage timings
+/// never make two otherwise identical sweeps unequal.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CorpusReport {
     results: Vec<SampleResult>,
+    telemetry: Option<TelemetrySnapshot>,
 }
+
+impl PartialEq for CorpusReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.results == other.results
+            && match (&self.telemetry, &other.telemetry) {
+                (Some(a), Some(b)) => a.counters_agree(b),
+                (None, None) => true,
+                _ => false,
+            }
+    }
+}
+
+impl Eq for CorpusReport {}
 
 impl CorpusReport {
     /// Wraps per-sample results.
     pub fn new(results: Vec<SampleResult>) -> Self {
-        CorpusReport { results }
+        CorpusReport { results, telemetry: None }
+    }
+
+    /// Attaches the sweep's telemetry snapshot.
+    pub fn with_telemetry(mut self, telemetry: Option<TelemetrySnapshot>) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The sweep's telemetry snapshot, when collection was enabled.
+    pub fn telemetry(&self) -> Option<&TelemetrySnapshot> {
+        self.telemetry.as_ref()
     }
 
     /// All per-sample results.

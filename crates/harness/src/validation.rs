@@ -136,12 +136,12 @@ mod tests {
     #[test]
     fn confusion_matrix_cells() {
         let report = CorpusReport::new(vec![
-            result(SampleClass::SelfSpawner, deactivated()),       // TP
+            result(SampleClass::SelfSpawner, deactivated()), // TP
             result(SampleClass::Terminator, Verdict::NotDeactivated), // FN
             result(SampleClass::Undeceivable, Verdict::NotDeactivated), // TN
-            result(SampleClass::Undeceivable, deactivated()),       // FP
+            result(SampleClass::Undeceivable, deactivated()), // FP
             result(SampleClass::SelfDeleter, Verdict::Indeterminate), // indet ok
-            result(SampleClass::SelfDeleter, deactivated()),        // indet wrong
+            result(SampleClass::SelfDeleter, deactivated()), // indet wrong
         ]);
         let score = CriterionScore::from_report(&report);
         assert_eq!(score.true_positives, 1);

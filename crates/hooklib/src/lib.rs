@@ -108,6 +108,9 @@ impl ApiHook for LabeledHook {
         &self.label
     }
     fn invoke(&self, call: &mut ApiCall<'_>) -> Value {
+        if let Some(t) = call.machine().telemetry() {
+            t.incr(tracer::Counter::HookHits);
+        }
         self.inner.invoke(call)
     }
 }
@@ -150,20 +153,14 @@ impl Injector {
     /// installs every hook. Idempotent per process (a second injection is
     /// skipped, as the module is already mapped).
     pub fn inject(&self, machine: &mut Machine, pid: Pid) {
-        let already = machine
-            .process(pid)
-            .map(|p| p.module_loaded(&self.dll.name))
-            .unwrap_or(true);
+        let already = machine.process(pid).map(|p| p.module_loaded(&self.dll.name)).unwrap_or(true);
         if already {
             return;
         }
         if let Some(p) = machine.process_mut(pid) {
             p.load_module(&self.dll.name);
         }
-        machine.record(
-            pid,
-            tracer::EventKind::ImageLoad { pid, image: self.dll.name.clone() },
-        );
+        machine.record(pid, tracer::EventKind::ImageLoad { pid, image: self.dll.name.clone() });
         for (api, hook) in &self.dll.hooks {
             machine.install_hook(
                 pid,
@@ -236,6 +233,9 @@ impl ApiHook for FollowChildrenHook {
     }
 
     fn invoke(&self, call: &mut ApiCall<'_>) -> Value {
+        if let Some(t) = call.machine().telemetry() {
+            t.incr(tracer::Counter::HookHits);
+        }
         let caller_wants_suspended = call.args.bool(1);
         call.args.set(1, Value::Bool(true)); // force CREATE_SUSPENDED
         let result = call.call_original();
@@ -253,7 +253,7 @@ impl ApiHook for FollowChildrenHook {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use winsim::{args, Program, ProcessCtx, System};
+    use winsim::{args, ProcessCtx, Program, System};
 
     /// Returns `true` from `IsDebuggerPresent`, like scarecrow.dll.
     struct LieAboutDebugger;

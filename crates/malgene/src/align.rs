@@ -173,16 +173,8 @@ fn greedy(a: &[EventKey], b: &[EventKey]) -> Vec<(usize, usize)> {
             continue;
         }
         // try to re-sync: find the nearest future partner for either side
-        let find_in_b = b[j..]
-            .iter()
-            .take(RESYNC_WINDOW)
-            .position(|k| *k == a[i])
-            .map(|d| j + d);
-        let find_in_a = a[i..]
-            .iter()
-            .take(RESYNC_WINDOW)
-            .position(|k| *k == b[j])
-            .map(|d| i + d);
+        let find_in_b = b[j..].iter().take(RESYNC_WINDOW).position(|k| *k == a[i]).map(|d| j + d);
+        let find_in_a = a[i..].iter().take(RESYNC_WINDOW).position(|k| *k == b[j]).map(|d| i + d);
         match (find_in_a, find_in_b) {
             (Some(na), Some(nb)) => {
                 if na - i <= nb - j {
@@ -247,11 +239,8 @@ mod tests {
             reg_open(r"HKLM\Probe"),
             fwrite(r"C:\log_123.tmp"), // run-specific noise, folded by normalize
         ]);
-        let detonating = trace_of(vec![
-            reg_open(r"HKLM\Probe"),
-            fwrite(r"C:\log_999.tmp"),
-            fwrite(r"C:\evil"),
-        ]);
+        let detonating =
+            trace_of(vec![reg_open(r"HKLM\Probe"), fwrite(r"C:\log_999.tmp"), fwrite(r"C:\evil")]);
         let al = align(&evading, &detonating);
         assert_eq!(al.matched.len(), 2, "noise lines up thanks to normalization");
         assert_eq!(al.deviation(), Some((2, 2)));
@@ -269,11 +258,8 @@ mod tests {
     #[test]
     fn greedy_and_lcs_agree_on_clean_prefix_cases() {
         let evading = trace_of(vec![reg_open(r"HKLM\P1"), reg_open(r"HKLM\P2")]);
-        let detonating = trace_of(vec![
-            reg_open(r"HKLM\P1"),
-            reg_open(r"HKLM\P2"),
-            fwrite(r"C:\payload"),
-        ]);
+        let detonating =
+            trace_of(vec![reg_open(r"HKLM\P1"), reg_open(r"HKLM\P2"), fwrite(r"C:\payload")]);
         let ka: Vec<EventKey> = evading.events().iter().map(key).collect();
         let kb: Vec<EventKey> = detonating.events().iter().map(key).collect();
         assert_eq!(lcs(&ka, &kb), greedy(&ka, &kb));

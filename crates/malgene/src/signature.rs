@@ -106,11 +106,7 @@ pub fn extract_signature(evading: &Trace, detonating: &Trace) -> Option<EvasionS
     let upper = resume_a.min(events.len());
     for i in (0..upper).rev() {
         if let Some(kind) = as_probe(&events[i].kind) {
-            return Some(EvasionSignature {
-                kind,
-                probe_index: i,
-                deviation_index: deviation_b,
-            });
+            return Some(EvasionSignature { kind, probe_index: i, deviation_index: deviation_b });
         }
     }
     None
@@ -158,15 +154,10 @@ mod tests {
     #[test]
     fn registry_probe_signature() {
         let evading = trace_of(vec![open(r"HKLM\SOFTWARE\NewSandboxVendor")]);
-        let detonating = trace_of(vec![
-            open(r"HKLM\SOFTWARE\NewSandboxVendor"),
-            payload(r"C:\evil"),
-        ]);
+        let detonating =
+            trace_of(vec![open(r"HKLM\SOFTWARE\NewSandboxVendor"), payload(r"C:\evil")]);
         let sig = extract_signature(&evading, &detonating).unwrap();
-        assert_eq!(
-            sig.kind,
-            SignatureKind::RegistryKey(r"HKLM\SOFTWARE\NewSandboxVendor".into())
-        );
+        assert_eq!(sig.kind, SignatureKind::RegistryKey(r"HKLM\SOFTWARE\NewSandboxVendor".into()));
     }
 
     #[test]

@@ -49,8 +49,19 @@ impl PafishCategory {
     /// All categories in report order.
     pub fn all() -> [PafishCategory; 11] {
         use PafishCategory::*;
-        [Debuggers, Cpu, GenericSandbox, Hook, Sandboxie, Wine, VirtualBox, VMware, Qemu,
-         Bochs, Cuckoo]
+        [
+            Debuggers,
+            Cpu,
+            GenericSandbox,
+            Hook,
+            Sandboxie,
+            Wine,
+            VirtualBox,
+            VMware,
+            Qemu,
+            Bochs,
+            Cuckoo,
+        ]
     }
 
     /// Display label matching Table II's row names.
@@ -84,10 +95,7 @@ pub struct Check {
 
 impl std::fmt::Debug for Check {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Check")
-            .field("name", &self.name)
-            .field("category", &self.category)
-            .finish()
+        f.debug_struct("Check").field("name", &self.name).field("category", &self.category).finish()
     }
 }
 
@@ -118,9 +126,7 @@ pub fn all_checks() -> Vec<Check> {
     let mut checks = Vec::with_capacity(56);
 
     // ---------- Debuggers (1) ----------
-    checks.push(Check::new("debug_isdebuggerpresent", Debuggers, |ctx| {
-        ctx.is_debugger_present()
-    }));
+    checks.push(Check::new("debug_isdebuggerpresent", Debuggers, |ctx| ctx.is_debugger_present()));
 
     // ---------- CPU information (4) — rdtsc probes first ----------
     checks.push(Check::new("cpu_rdtsc_diff", Cpu, |ctx| ctx.rdtsc_delta_plain() > 750));
@@ -143,9 +149,8 @@ pub fn all_checks() -> Vec<Check> {
         ctx.peb().number_of_processors < 2
     }));
     checks.push(Check::new("gensb_one_cpu_api", GenericSandbox, |ctx| ctx.cpu_count() < 2));
-    checks.push(Check::new("gensb_less_than_1gb_ram", GenericSandbox, |ctx| {
-        ctx.memory_mb() < 1_024
-    }));
+    checks
+        .push(Check::new("gensb_less_than_1gb_ram", GenericSandbox, |ctx| ctx.memory_mb() < 1_024));
     checks.push(Check::new("gensb_drive_smaller_60gb", GenericSandbox, |ctx| {
         ctx.disk_total_bytes('C').is_some_and(|b| b < (60 << 30))
     }));
@@ -157,12 +162,8 @@ pub fn all_checks() -> Vec<Check> {
     }));
     checks.push(Check::new("gensb_filename_is_hash", GenericSandbox, |ctx| {
         let path = ctx.own_path();
-        let file = path
-            .rsplit('\\')
-            .next()
-            .unwrap_or("")
-            .trim_end_matches(".exe")
-            .to_ascii_lowercase();
+        let file =
+            path.rsplit('\\').next().unwrap_or("").trim_end_matches(".exe").to_ascii_lowercase();
         file.len() >= 32 && file.chars().all(|c| c.is_ascii_hexdigit())
     }));
     checks.push(Check::new("gensb_username_sandbox", GenericSandbox, |ctx| {
@@ -184,12 +185,12 @@ pub fn all_checks() -> Vec<Check> {
 
     // ---------- Hook (2) ----------
     checks.push(Check::new("hooks_inline_common_apis", Hook, |ctx| {
-        [Api::IsDebuggerPresent, Api::CreateProcess, Api::RegOpenKeyEx, Api::DeleteFile]
-            .iter()
-            .any(|api| {
+        [Api::IsDebuggerPresent, Api::CreateProcess, Api::RegOpenKeyEx, Api::DeleteFile].iter().any(
+            |api| {
                 let p = ctx.read_api_prologue(*api);
                 !(p[0] == 0x8b && p[1] == 0xff)
-            })
+            },
+        )
     }));
     checks.push(Check::new("hooks_shellexecuteexw", Hook, |ctx| {
         let p = ctx.read_api_prologue(Api::ShellExecuteEx);
@@ -248,9 +249,8 @@ pub fn all_checks() -> Vec<Check> {
     checks.push(Check::new("vbox_mac_prefix", VirtualBox, |ctx| {
         ctx.mac_address().starts_with("08:00:27")
     }));
-    checks.push(Check::new("vbox_device_vboxguest", VirtualBox, |ctx| {
-        ctx.open_device("VBoxGuest")
-    }));
+    checks
+        .push(Check::new("vbox_device_vboxguest", VirtualBox, |ctx| ctx.open_device("VBoxGuest")));
     checks.push(Check::new("vbox_traytool_window", VirtualBox, |ctx| {
         ctx.find_window_class("VBoxTrayToolWndClass")
     }));
@@ -275,12 +275,7 @@ pub fn all_checks() -> Vec<Check> {
         ctx.reg_key_exists(r"HKLM\SYSTEM\ControlSet001\Services\vmhgfs")
     }));
     checks.push(Check::new("vmware_disk_enum", VMware, |ctx| {
-        reg_value_contains(
-            ctx,
-            r"HKLM\SYSTEM\CurrentControlSet\Services\Disk\Enum",
-            "0",
-            "vmware",
-        )
+        reg_value_contains(ctx, r"HKLM\SYSTEM\CurrentControlSet\Services\Disk\Enum", "0", "vmware")
     }));
 
     // ---------- Qemu (3) ----------

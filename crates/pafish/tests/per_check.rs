@@ -141,10 +141,7 @@ fn check_names_cover_eleven_categories() {
     use pafish_sim::PafishCategory;
     let checks = all_checks();
     for cat in PafishCategory::all() {
-        assert!(
-            checks.iter().any(|c| c.category == cat),
-            "category {cat:?} has no checks"
-        );
+        assert!(checks.iter().any(|c| c.category == cat), "category {cat:?} has no checks");
     }
     // spot-check Table II feature totals survive refactors
     assert_eq!(checks.len(), 56);

@@ -37,10 +37,7 @@ impl RegOp {
     /// Only mutating operations count as *significant activities* in the
     /// paper's deactivation criterion ("modifying registries").
     pub fn is_mutation(self) -> bool {
-        matches!(
-            self,
-            RegOp::CreateKey | RegOp::SetValue | RegOp::DeleteKey | RegOp::DeleteValue
-        )
+        matches!(self, RegOp::CreateKey | RegOp::SetValue | RegOp::DeleteKey | RegOp::DeleteValue)
     }
 }
 

@@ -9,8 +9,10 @@
 //! * the typed event model ([`Event`], [`EventKind`]),
 //! * an append-only [`Trace`] store with query helpers,
 //! * normalized *significant activity* extraction ([`ActivityKey`]),
-//! * trace diffing ([`TraceDiff`]), and
-//! * the paper's deactivation criterion ([`Verdict::decide`]).
+//! * trace diffing ([`TraceDiff`]),
+//! * the paper's deactivation criterion ([`Verdict::decide`]), and
+//! * lock-free cross-layer run telemetry ([`Telemetry`],
+//!   [`TelemetrySnapshot`]).
 //!
 //! The substrate (`winsim`) emits these events; nothing in this crate depends
 //! on the substrate, so traces can also be constructed by hand in tests.
@@ -35,11 +37,13 @@
 mod diff;
 mod event;
 mod stats;
+pub mod telemetry;
 mod trace;
 mod verdict;
 
 pub use diff::TraceDiff;
 pub use event::{Event, EventKind, Pid, RegOp, Tid, VirtualTime};
 pub use stats::{aggregate, TraceStats};
+pub use telemetry::{Counter, Stage, StageStat, Telemetry, TelemetrySnapshot};
 pub use trace::{ActivityKey, Trace};
 pub use verdict::{DeactivationReason, Verdict, SELF_SPAWN_LOOP_THRESHOLD};

@@ -68,12 +68,12 @@ impl TraceStats {
         if self.total == 0 {
             return 0.0;
         }
-        let queries: usize = ["file_read", "dns_query", "module_query", "window_query",
-            "debug_query", "info_query"]
-            .iter()
-            .map(|t| self.count(t))
-            .sum::<usize>()
-            + self.count_registry_queries();
+        let queries: usize =
+            ["file_read", "dns_query", "module_query", "window_query", "debug_query", "info_query"]
+                .iter()
+                .map(|t| self.count(t))
+                .sum::<usize>()
+                + self.count_registry_queries();
         queries as f64 / self.total as f64
     }
 
@@ -108,10 +108,11 @@ mod tests {
 
     fn sample_trace() -> Trace {
         let mut t = Trace::new("m.exe");
-        t.record(Event::at(0, 1, EventKind::Registry {
-            op: RegOp::OpenKey,
-            path: r"HKLM\SOFTWARE\VMware, Inc.".into(),
-        }));
+        t.record(Event::at(
+            0,
+            1,
+            EventKind::Registry { op: RegOp::OpenKey, path: r"HKLM\SOFTWARE\VMware, Inc.".into() },
+        ));
         t.record(Event::at(1, 1, EventKind::DebugQuery { api: "IsDebuggerPresent".into() }));
         t.record(Event::at(5, 1, EventKind::FileWrite { path: r"C:\evil".into(), bytes: 1 }));
         t

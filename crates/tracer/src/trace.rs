@@ -270,15 +270,17 @@ mod tests {
     #[test]
     fn self_copy_writes_fold_to_self_marker() {
         let mut a = Trace::new("mal.exe");
-        a.record(Event::at(0, 1, EventKind::FileWrite {
-            path: r"C:\Users\u\AppData\mal.exe".into(),
-            bytes: 4096,
-        }));
+        a.record(Event::at(
+            0,
+            1,
+            EventKind::FileWrite { path: r"C:\Users\u\AppData\mal.exe".into(), bytes: 4096 },
+        ));
         let mut b = Trace::new("mal.exe");
-        b.record(Event::at(0, 1, EventKind::FileWrite {
-            path: r"C:\Temp\mal.exe".into(),
-            bytes: 4096,
-        }));
+        b.record(Event::at(
+            0,
+            1,
+            EventKind::FileWrite { path: r"C:\Temp\mal.exe".into(), bytes: 4096 },
+        ));
         assert_eq!(a.significant_activities(), b.significant_activities());
     }
 

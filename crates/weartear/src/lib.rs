@@ -48,21 +48,15 @@ mod integration {
     #[test]
     fn classifier_detects_both_sandbox_flavors_and_spares_the_user() {
         let tree = sandbox_classifier(11);
-        for (machine, expect_sandbox) in [
-            (bare_metal_sandbox(), true),
-            (vm_sandbox(), true),
-            (end_user_machine(), false),
-        ] {
+        for (machine, expect_sandbox) in
+            [(bare_metal_sandbox(), true), (vm_sandbox(), true), (end_user_machine(), false)]
+        {
             let mut m = machine;
             let kind = m.system().config.kind;
             let pid = spawn_probe(&mut m);
             let mut ctx = ProcessCtx::new(&mut m, pid);
             let features = WearMeasurement::collect(&mut ctx).top5_features();
-            assert_eq!(
-                tree.classify(&features),
-                expect_sandbox,
-                "{kind:?} features {features:?}"
-            );
+            assert_eq!(tree.classify(&features), expect_sandbox, "{kind:?} features {features:?}");
         }
     }
 

@@ -23,7 +23,12 @@ pub struct DecisionTree {
 enum Node {
     /// Leaf prediction: `true` = sandbox.
     Leaf(bool),
-    Split { feature: usize, threshold: f64, below: Box<Node>, above: Box<Node> },
+    Split {
+        feature: usize,
+        threshold: f64,
+        below: Box<Node>,
+        above: Box<Node>,
+    },
 }
 
 fn gini(pos: usize, total: usize) -> f64 {
@@ -140,8 +145,7 @@ impl DecisionTree {
         if data.is_empty() {
             return 1.0;
         }
-        let correct =
-            data.iter().filter(|(x, y)| self.classify(x) == *y).count();
+        let correct = data.iter().filter(|(x, y)| self.classify(x) == *y).count();
         correct as f64 / data.len() as f64
     }
 
@@ -235,12 +239,8 @@ mod tests {
 
     #[test]
     fn pure_leaves_do_not_grow() {
-        let data = vec![
-            (vec![0.0], true),
-            (vec![0.1], true),
-            (vec![10.0], false),
-            (vec![10.1], false),
-        ];
+        let data =
+            vec![(vec![0.0], true), (vec![0.1], true), (vec![10.0], false), (vec![10.1], false)];
         let tree = DecisionTree::train(&data, 5);
         assert!(tree.node_count() <= 3, "one split suffices: {}", tree.node_count());
         assert!(tree.classify(&[1.0]));
@@ -249,8 +249,7 @@ mod tests {
 
     #[test]
     fn depth_zero_yields_majority_leaf() {
-        let data =
-            vec![(vec![1.0], true), (vec![2.0], true), (vec![3.0], false)];
+        let data = vec![(vec![1.0], true), (vec![2.0], true), (vec![3.0], false)];
         let tree = DecisionTree::train(&data, 0);
         assert!(tree.classify(&[100.0]));
         assert_eq!(tree.node_count(), 1);

@@ -112,18 +112,64 @@ impl Api {
     pub fn all() -> &'static [Api] {
         use Api::*;
         &[
-            RegOpenKeyEx, RegQueryValueEx, RegSetValueEx, RegCreateKeyEx, RegDeleteKey,
-            RegEnumKeyEx, NtOpenKeyEx, NtQueryKey, NtQueryValueKey, NtCreateFile,
-            NtQueryAttributesFile, GetFileAttributes, CreateFile, ReadFile, WriteFile, DeleteFile,
-            MoveFile, FindFirstFile, GetDiskFreeSpaceEx, CreateProcess, OpenProcess,
-            TerminateProcess, ExitProcess, ResumeThread, Sleep, GetTickCount, IsDebuggerPresent,
-            CheckRemoteDebuggerPresent, NtQueryInformationProcess, OutputDebugString, CloseHandle,
-            EnumProcesses, GetCurrentProcessId, WriteProcessMemory, CreateToolhelp32Snapshot,
-            Process32Next, GetModuleHandle, LoadLibrary,
-            EnumModules, GetModuleFileName, GetProcAddress, GetSystemInfo, GlobalMemoryStatusEx,
-            NtQuerySystemInformation, GetUserName, GetComputerName, GetCursorPos, GetAdaptersInfo,
-            IsNativeVhdBoot, GetKeyState, FindWindow, DnsQuery, InternetOpenUrl,
-            DnsGetCacheDataTable, EvtNext, ShellExecuteEx, CreateMutex, RaiseException,
+            RegOpenKeyEx,
+            RegQueryValueEx,
+            RegSetValueEx,
+            RegCreateKeyEx,
+            RegDeleteKey,
+            RegEnumKeyEx,
+            NtOpenKeyEx,
+            NtQueryKey,
+            NtQueryValueKey,
+            NtCreateFile,
+            NtQueryAttributesFile,
+            GetFileAttributes,
+            CreateFile,
+            ReadFile,
+            WriteFile,
+            DeleteFile,
+            MoveFile,
+            FindFirstFile,
+            GetDiskFreeSpaceEx,
+            CreateProcess,
+            OpenProcess,
+            TerminateProcess,
+            ExitProcess,
+            ResumeThread,
+            Sleep,
+            GetTickCount,
+            IsDebuggerPresent,
+            CheckRemoteDebuggerPresent,
+            NtQueryInformationProcess,
+            OutputDebugString,
+            CloseHandle,
+            EnumProcesses,
+            GetCurrentProcessId,
+            WriteProcessMemory,
+            CreateToolhelp32Snapshot,
+            Process32Next,
+            GetModuleHandle,
+            LoadLibrary,
+            EnumModules,
+            GetModuleFileName,
+            GetProcAddress,
+            GetSystemInfo,
+            GlobalMemoryStatusEx,
+            NtQuerySystemInformation,
+            GetUserName,
+            GetComputerName,
+            GetCursorPos,
+            GetAdaptersInfo,
+            IsNativeVhdBoot,
+            GetKeyState,
+            FindWindow,
+            DnsQuery,
+            InternetOpenUrl,
+            DnsGetCacheDataTable,
+            EvtNext,
+            ShellExecuteEx,
+            CreateMutex,
+            RaiseException,
         ]
     }
 
@@ -190,6 +236,18 @@ impl Api {
             Api::RaiseException => "RaiseException",
         }
     }
+
+    /// API names laid out so that slot `api as usize` holds `api.name()` —
+    /// the slot-name list a [`tracer::Telemetry`] recorder for this
+    /// substrate is built from.
+    pub fn telemetry_slot_names() -> Vec<String> {
+        let all = Api::all();
+        let mut names = vec![String::new(); all.len()];
+        for api in all {
+            names[*api as usize] = api.name().to_owned();
+        }
+        names
+    }
 }
 
 impl std::fmt::Display for Api {
@@ -249,6 +307,11 @@ impl<'m> ApiCall<'m> {
             self.idx += 1;
             hook.invoke(self)
         } else {
+            if !self.chain.is_empty() {
+                if let Some(t) = self.machine.telemetry() {
+                    t.incr(tracer::Counter::TrampolinePassthroughs);
+                }
+            }
             Machine::default_api(self.machine, self.pid, self.api, self.args.clone())
         }
     }

@@ -51,7 +51,8 @@ pub const USBSTOR_KEY: &str = r"HKLM\SYSTEM\CurrentControlSet\Services\UsbStor";
 /// SMBIOS system description key (`SystemBiosVersion`, `VideoBiosVersion`).
 pub const SYSTEM_BIOS_KEY: &str = r"HKLM\HARDWARE\Description\System";
 /// SCSI identifier key probed for QEMU strings.
-pub const SCSI_KEY: &str = r"HKLM\HARDWARE\DEVICEMAP\Scsi\Scsi Port 0\Scsi Bus 0\Target Id 0\Logical Unit Id 0";
+pub const SCSI_KEY: &str =
+    r"HKLM\HARDWARE\DEVICEMAP\Scsi\Scsi Port 0\Scsi Bus 0\Target Id 0\Logical Unit Id 0";
 
 /// Wear-and-tear artifact counts used when populating a preset registry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -138,13 +139,21 @@ impl WearProfile {
             r.create_key(&format!(r"{DEVICE_CLASSES_KEY}\{{class-{i:04}}}"));
         }
         for i in 0..self.autoruns {
-            r.set_value(RUN_KEY, &format!("AutoRun{i}"), RegValue::Sz(format!(r"C:\Program Files\App{i}\app{i}.exe")));
+            r.set_value(
+                RUN_KEY,
+                &format!("AutoRun{i}"),
+                RegValue::Sz(format!(r"C:\Program Files\App{i}\app{i}.exe")),
+            );
         }
         for i in 0..self.uninstall {
             r.create_key(&format!(r"{UNINSTALL_KEY}\Product{i:03}"));
         }
         for i in 0..self.shared_dlls {
-            r.set_value(SHARED_DLLS_KEY, &format!(r"C:\Windows\System32\shared{i:03}.dll"), RegValue::Dword(1 + (i as u32 % 5)));
+            r.set_value(
+                SHARED_DLLS_KEY,
+                &format!(r"C:\Windows\System32\shared{i:03}.dll"),
+                RegValue::Dword(1 + (i as u32 % 5)),
+            );
         }
         for i in 0..self.app_paths {
             r.create_key(&format!(r"{APP_PATHS_KEY}\app{i:03}.exe"));
@@ -159,10 +168,18 @@ impl WearProfile {
             r.set_value(SHIM_CACHE_KEY, &format!("shim{i:04}"), RegValue::Binary(vec![0u8; 16]));
         }
         for i in 0..self.mui_cache {
-            r.set_value(MUI_CACHE_KEY, &format!(r"C:\apps\tool{i:03}.exe"), RegValue::Sz(format!("Tool {i}")));
+            r.set_value(
+                MUI_CACHE_KEY,
+                &format!(r"C:\apps\tool{i:03}.exe"),
+                RegValue::Sz(format!("Tool {i}")),
+            );
         }
         for i in 0..self.firewall_rules {
-            r.set_value(FIREWALL_RULES_KEY, &format!("rule{i:04}"), RegValue::Sz("v2.10|Action=Allow".to_owned()));
+            r.set_value(
+                FIREWALL_RULES_KEY,
+                &format!("rule{i:04}"),
+                RegValue::Sz("v2.10|Action=Allow".to_owned()),
+            );
         }
         for i in 0..self.usb_stor {
             r.create_key(&format!(r"{USBSTOR_KEY}\Disk&Ven_Kingston&Prod_{i:02}"));
@@ -171,12 +188,36 @@ impl WearProfile {
             r.create_key(&format!(r"HKLM\Software\Classes\pad\k{i:06}"));
         }
         let sources = [
-            "Service Control Manager", "Application Error", "Kernel-General", "EventLog",
-            "Windows Update Agent", "Disk", "DNS Client Events", "Time-Service", "WMI",
-            "Winlogon", "Print", "DistributedCOM", "GroupPolicy", "Dhcp", "Tcpip", "Ntfs",
-            "volsnap", "UserPnp", "Power-Troubleshooter", "RestartManager", "MsiInstaller",
-            "Outlook", "Chrome", "Firefox", "Defender", "Backup", "BitLocker", "Bits-Client",
-            "Kernel-Power", "Kernel-Boot",
+            "Service Control Manager",
+            "Application Error",
+            "Kernel-General",
+            "EventLog",
+            "Windows Update Agent",
+            "Disk",
+            "DNS Client Events",
+            "Time-Service",
+            "WMI",
+            "Winlogon",
+            "Print",
+            "DistributedCOM",
+            "GroupPolicy",
+            "Dhcp",
+            "Tcpip",
+            "Ntfs",
+            "volsnap",
+            "UserPnp",
+            "Power-Troubleshooter",
+            "RestartManager",
+            "MsiInstaller",
+            "Outlook",
+            "Chrome",
+            "Firefox",
+            "Defender",
+            "Backup",
+            "BitLocker",
+            "Bits-Client",
+            "Kernel-Power",
+            "Kernel-Boot",
         ];
         let n = self.event_sources.min(sources.len());
         sys.eventlog.seed(self.sys_events, &sources[..n]);
@@ -204,9 +245,23 @@ fn seed_common(m: &mut Machine) {
         for f in ["kernel32.dll", "ntdll.dll", "user32.dll", "shell32.dll"] {
             sys.fs.create(&format!(r"C:\Windows\System32\{f}"), 1 << 20, "system");
         }
-        for (i, name) in ["budget.xlsx", "notes.txt", "thesis.docx", "photo1.jpg", "photo2.jpg",
-            "resume.pdf", "taxes-2016.pdf", "plan.pptx", "diary.txt", "contract.docx",
-            "invoice-01.pdf", "invoice-02.pdf", "passwords.kdbx", "book.epub", "scan.png"]
+        for (i, name) in [
+            "budget.xlsx",
+            "notes.txt",
+            "thesis.docx",
+            "photo1.jpg",
+            "photo2.jpg",
+            "resume.pdf",
+            "taxes-2016.pdf",
+            "plan.pptx",
+            "diary.txt",
+            "contract.docx",
+            "invoice-01.pdf",
+            "invoice-02.pdf",
+            "passwords.kdbx",
+            "book.epub",
+            "scan.png",
+        ]
         .iter()
         .enumerate()
         {
@@ -216,15 +271,31 @@ fn seed_common(m: &mut Machine) {
                 "user-document",
             );
         }
-        for host in ["www.microsoft.com", "update.microsoft.com", "www.google.com",
-                     "cdn.adobe.com", "download.cnet.com"] {
+        for host in [
+            "www.microsoft.com",
+            "update.microsoft.com",
+            "www.google.com",
+            "cdn.adobe.com",
+            "download.cnet.com",
+        ] {
             sys.network.add_host(host, [93, 184, 216, 34]);
             sys.network.add_http_host(host, 200);
         }
     }
-    for p in ["smss.exe", "csrss.exe", "wininit.exe", "winlogon.exe", "services.exe",
-              "lsass.exe", "svchost.exe", "svchost.exe", "svchost.exe", "spoolsv.exe",
-              "taskhost.exe", "dwm.exe"] {
+    for p in [
+        "smss.exe",
+        "csrss.exe",
+        "wininit.exe",
+        "winlogon.exe",
+        "services.exe",
+        "lsass.exe",
+        "svchost.exe",
+        "svchost.exe",
+        "svchost.exe",
+        "spoolsv.exe",
+        "taskhost.exe",
+        "dwm.exe",
+    ] {
         m.add_system_process(p);
     }
 }

@@ -180,7 +180,8 @@ impl Hardware {
         let start = self.rdtsc();
         action(self);
         let mut delta = self.rdtsc() - start;
-        if self.rdtsc.noise_period != 0 && self.measurements.is_multiple_of(self.rdtsc.noise_period) {
+        if self.rdtsc.noise_period != 0 && self.measurements.is_multiple_of(self.rdtsc.noise_period)
+        {
             delta += self.rdtsc.noise_cycles;
         }
         delta
@@ -211,8 +212,12 @@ impl Hardware {
         matches!(
             self.mac_address[..3],
             // VirtualBox, VMware (three OUIs), Parallels, Xen
-            [0x08, 0x00, 0x27] | [0x00, 0x05, 0x69] | [0x00, 0x0c, 0x29] | [0x00, 0x50, 0x56]
-                | [0x00, 0x1c, 0x42] | [0x00, 0x16, 0x3e]
+            [0x08, 0x00, 0x27]
+                | [0x00, 0x05, 0x69]
+                | [0x00, 0x0c, 0x29]
+                | [0x00, 0x50, 0x56]
+                | [0x00, 0x1c, 0x42]
+                | [0x00, 0x16, 0x3e]
         )
     }
 }
@@ -234,7 +239,8 @@ mod tests {
     fn hypervisor_inflates_cpuid_timing() {
         let mut hw = Hardware::new();
         hw.hypervisor = Some(HvVendor::VirtualBox);
-        hw.rdtsc = RdtscModel { base_cycles: 30, vmexit_cycles: 4000, noise_cycles: 0, noise_period: 0 };
+        hw.rdtsc =
+            RdtscModel { base_cycles: 30, vmexit_cycles: 4000, noise_cycles: 0, noise_period: 0 };
         let d = hw.rdtsc_delta(|hw| {
             hw.cpuid(0x1);
         });

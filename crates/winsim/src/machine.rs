@@ -3,12 +3,12 @@
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
 
-use tracer::{Event, EventKind, RegOp, Trace};
+use tracer::{Counter, Event, EventKind, RegOp, Telemetry, Trace};
 
 use crate::api::{Api, ApiCall, ApiHook, HOOKED_PROLOGUE};
 use crate::error::{NtStatus, SimError};
 use crate::process::{Peb, Pid, ProcState, Process};
-use crate::program::{Program, ProcessCtx};
+use crate::program::{ProcessCtx, Program};
 use crate::registry::RegValue;
 use crate::system::{OsVersion, System};
 use crate::values::{Args, Value};
@@ -64,6 +64,9 @@ pub struct Machine {
     pub budget_ms: u64,
     /// Process-creation cap.
     pub max_processes: usize,
+    /// Telemetry recorder, when attached; `None` costs one branch per
+    /// dispatch.
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl std::fmt::Debug for Machine {
@@ -96,6 +99,7 @@ impl Machine {
             next_snapshot: 0x51AB_0000,
             budget_ms: DEFAULT_BUDGET_MS,
             max_processes: DEFAULT_MAX_PROCESSES,
+            telemetry: None,
         };
         let peb = Peb { being_debugged: false, number_of_processors: cores };
         let mut system_proc = Process::new(4, 0, "System", "System", peb);
@@ -115,6 +119,17 @@ impl Machine {
         &mut self.sys
     }
 
+    /// Attaches (or detaches) a telemetry recorder. Every subsequent API
+    /// dispatch records its call count and virtual-clock cost.
+    pub fn set_telemetry(&mut self, telemetry: Option<Arc<Telemetry>>) {
+        self.telemetry = telemetry;
+    }
+
+    /// The attached telemetry recorder, if any.
+    pub fn telemetry(&self) -> Option<&Arc<Telemetry>> {
+        self.telemetry.as_ref()
+    }
+
     /// The pid of `explorer.exe` (the normal double-click parent).
     pub fn explorer_pid(&self) -> Pid {
         self.explorer
@@ -124,8 +139,7 @@ impl Machine {
     /// analysis daemons, `VBoxService.exe`, …). Returns its pid.
     pub fn add_system_process(&mut self, image: &str) -> Pid {
         let pid = self.alloc_pid();
-        let peb =
-            Peb { being_debugged: false, number_of_processors: self.sys.hardware.num_cores };
+        let peb = Peb { being_debugged: false, number_of_processors: self.sys.hardware.num_cores };
         let mut p = Process::new(pid, 4, image, &format!(r"C:\Windows\System32\{image}"), peb);
         p.is_system = true;
         self.procs.insert(pid, p);
@@ -190,8 +204,7 @@ impl Machine {
         }
         self.created += 1;
         let pid = self.alloc_pid();
-        let peb =
-            Peb { being_debugged: false, number_of_processors: self.sys.hardware.num_cores };
+        let peb = Peb { being_debugged: false, number_of_processors: self.sys.hardware.num_cores };
         let path = format!("{}\\{}", self.sys.config.download_dir, image);
         let mut p = Process::new(pid, parent, image, &path, peb);
         if suspended {
@@ -202,10 +215,7 @@ impl Machine {
         for (api, hook) in inject {
             self.install_hook(pid, api, hook);
         }
-        self.record(
-            pid,
-            EventKind::ProcessCreate { pid, parent, image: image.to_owned() },
-        );
+        self.record(pid, EventKind::ProcessCreate { pid, parent, image: image.to_owned() });
         if !suspended {
             self.queue.push_back(pid);
         }
@@ -295,6 +305,9 @@ impl Machine {
         if let Some(p) = self.procs.get_mut(&pid) {
             p.hooks.entry(api).or_default().push(hook);
             p.prologues.insert(api, HOOKED_PROLOGUE);
+            if let Some(t) = &self.telemetry {
+                t.incr(Counter::HookInstalls);
+            }
         }
     }
 
@@ -320,6 +333,9 @@ impl Machine {
     /// `STATUS_UNSUCCESSFUL` back (their calls go nowhere).
     pub fn call_api(&mut self, pid: Pid, api: Api, args: Args) -> Value {
         self.sys.clock.charge_api_call();
+        if let Some(t) = &self.telemetry {
+            t.record_api(api as usize, self.sys.clock.api_call_cost_ms);
+        }
         if self.sys.clock.now_ms() >= self.budget_ms {
             // the paper's harness kills the sample when its one-minute
             // analysis window closes; packers that stall past the window
@@ -622,11 +638,8 @@ impl Machine {
                     }
                     "ParentPid" => Value::U64(u64::from(p.parent)),
                     "ParentImage" => {
-                        let img = m
-                            .procs
-                            .get(&p.parent)
-                            .map(|pp| pp.image.clone())
-                            .unwrap_or_default();
+                        let img =
+                            m.procs.get(&p.parent).map(|pp| pp.image.clone()).unwrap_or_default();
                         Value::Str(img)
                     }
                     _ => Value::Status(NtStatus::InvalidParameter),
@@ -696,8 +709,7 @@ impl Machine {
             // ---------- modules ----------
             Api::GetModuleHandle => {
                 let name = args.str(0).to_owned();
-                let loaded =
-                    m.procs.get(&pid).map(|p| p.module_loaded(&name)).unwrap_or(false);
+                let loaded = m.procs.get(&pid).map(|p| p.module_loaded(&name)).unwrap_or(false);
                 m.record(pid, EventKind::ModuleQuery { name });
                 Value::U64(if loaded { 0x1000_0000 } else { 0 })
             }
@@ -725,8 +737,7 @@ impl Machine {
                 Value::List(list)
             }
             Api::GetModuleFileName => {
-                let path =
-                    m.procs.get(&pid).map(|p| p.image_path.clone()).unwrap_or_default();
+                let path = m.procs.get(&pid).map(|p| p.image_path.clone()).unwrap_or_default();
                 Value::Str(path)
             }
             Api::GetProcAddress => {
@@ -790,13 +801,7 @@ impl Machine {
             Api::DnsQuery => {
                 let domain = args.str(0).to_owned();
                 let resolved = m.sys.network.resolve(&domain);
-                m.record(
-                    pid,
-                    EventKind::DnsQuery {
-                        domain,
-                        resolved: resolved.map(fmt_addr),
-                    },
-                );
+                m.record(pid, EventKind::DnsQuery { domain, resolved: resolved.map(fmt_addr) });
                 match resolved {
                     Some(addr) => Value::Str(fmt_addr(addr)),
                     None => Value::Status(NtStatus::ObjectNameNotFound),
@@ -872,9 +877,9 @@ fn value_to_reg(v: Value) -> RegValue {
         Value::I64(i) => RegValue::Qword(i as u64),
         Value::Bool(b) => RegValue::Dword(u32::from(b)),
         Value::Bytes(b) => RegValue::Binary(b),
-        Value::List(l) => RegValue::MultiSz(
-            l.into_iter().map(|v| v.as_str().unwrap_or("").to_owned()).collect(),
-        ),
+        Value::List(l) => {
+            RegValue::MultiSz(l.into_iter().map(|v| v.as_str().unwrap_or("").to_owned()).collect())
+        }
         _ => RegValue::Dword(0),
     }
 }
@@ -961,11 +966,9 @@ mod tests {
         m.run();
         // the child appears in the process table and trace, but did nothing
         assert!(m.find_process("touch.exe").is_none()); // ran to termination
-        assert!(m
-            .trace()
-            .events()
-            .iter()
-            .any(|e| matches!(&e.kind, EventKind::ProcessCreate { image, .. } if image == "touch.exe")));
+        assert!(m.trace().events().iter().any(
+            |e| matches!(&e.kind, EventKind::ProcessCreate { image, .. } if image == "touch.exe")
+        ));
     }
 
     #[test]

@@ -133,7 +133,13 @@ mod tests {
     use super::*;
 
     fn proc() -> Process {
-        Process::new(100, 1, "a.exe", r"C:\a.exe", Peb { being_debugged: false, number_of_processors: 4 })
+        Process::new(
+            100,
+            1,
+            "a.exe",
+            r"C:\a.exe",
+            Peb { being_debugged: false, number_of_processors: 4 },
+        )
     }
 
     #[test]

@@ -65,10 +65,7 @@ impl<'m> ProcessCtx<'m> {
 
     /// Whether this process has exited (via `ExitProcess` or termination).
     pub fn exited(&self) -> bool {
-        self.machine
-            .process(self.pid)
-            .map(|p| p.state == ProcState::Terminated)
-            .unwrap_or(true)
+        self.machine.process(self.pid).map(|p| p.state == ProcState::Terminated).unwrap_or(true)
     }
 
     /// Reads the PEB **directly from process memory** — no API, no hooks.
@@ -83,10 +80,10 @@ impl<'m> ProcessCtx<'m> {
     /// Reads the first bytes of an API's code, as an anti-hooking check
     /// does (Figure 1 of the paper). Unhookable.
     pub fn read_api_prologue(&self, api: Api) -> [u8; PROLOGUE_LEN] {
-        self.machine
-            .process(self.pid)
-            .expect("running process exists")
-            .api_prologue(api)
+        if let Some(t) = self.machine.telemetry() {
+            t.incr(tracer::Counter::DetectionProbes);
+        }
+        self.machine.process(self.pid).expect("running process exists").api_prologue(api)
     }
 
     /// Executes the RDTSC instruction. Unhookable.
@@ -194,7 +191,11 @@ mod tests {
             let ctx = ProcessCtx::new(&mut m, pid);
             assert_eq!(ctx.read_api_prologue(Api::Sleep)[0], 0x8b);
         }
-        m.install_hook(pid, Api::Sleep, Arc::new(|c: &mut crate::api::ApiCall<'_>| c.call_original()));
+        m.install_hook(
+            pid,
+            Api::Sleep,
+            Arc::new(|c: &mut crate::api::ApiCall<'_>| c.call_original()),
+        );
         let ctx = ProcessCtx::new(&mut m, pid);
         assert_eq!(ctx.read_api_prologue(Api::Sleep)[0], 0xe9);
     }

@@ -274,8 +274,10 @@ mod tests {
     #[test]
     fn missing_key_reports_not_found() {
         let r = Registry::new();
-        assert_eq!(r.open_key(r"HKLM\SOFTWARE\VMware, Inc.\VMware Tools"),
-                   NtStatus::ObjectNameNotFound);
+        assert_eq!(
+            r.open_key(r"HKLM\SOFTWARE\VMware, Inc.\VMware Tools"),
+            NtStatus::ObjectNameNotFound
+        );
     }
 
     #[test]

@@ -121,8 +121,16 @@ impl System {
     pub fn new() -> Self {
         let mut sys = System::default();
         sys.fs.set_drive('C', crate::fs::DriveInfo::gb(256, 180));
-        for dll in ["ntdll.dll", "kernel32.dll", "user32.dll", "advapi32.dll", "ws2_32.dll",
-                    "shell32.dll", "ole32.dll", "gdi32.dll"] {
+        for dll in [
+            "ntdll.dll",
+            "kernel32.dll",
+            "user32.dll",
+            "advapi32.dll",
+            "ws2_32.dll",
+            "shell32.dll",
+            "ole32.dll",
+            "gdi32.dll",
+        ] {
             sys.dll_registry.insert(dll.to_owned());
         }
         sys

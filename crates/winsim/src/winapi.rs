@@ -105,9 +105,7 @@ impl ProcessCtx<'_> {
     /// `FindFirstFile`-style glob; returns matching paths.
     pub fn find_files(&mut self, pattern: &str) -> Vec<String> {
         match self.call(Api::FindFirstFile, args![pattern]) {
-            Value::List(l) => {
-                l.into_iter().filter_map(|v| v.as_str().map(str::to_owned)).collect()
-            }
+            Value::List(l) => l.into_iter().filter_map(|v| v.as_str().map(str::to_owned)).collect(),
             _ => Vec::new(),
         }
     }
@@ -186,9 +184,7 @@ impl ProcessCtx<'_> {
     /// `EnumProcesses`: images of all live processes.
     pub fn process_list(&mut self) -> Vec<String> {
         match self.call(Api::EnumProcesses, args![]) {
-            Value::List(l) => {
-                l.into_iter().filter_map(|v| v.as_str().map(str::to_owned)).collect()
-            }
+            Value::List(l) => l.into_iter().filter_map(|v| v.as_str().map(str::to_owned)).collect(),
             _ => Vec::new(),
         }
     }
@@ -256,9 +252,7 @@ impl ProcessCtx<'_> {
     /// `NtQuerySystemInformation(SystemProcessInformation)` image list.
     pub fn nt_process_list(&mut self) -> Vec<String> {
         match self.call(Api::NtQuerySystemInformation, args!["ProcessInformation"]) {
-            Value::List(l) => {
-                l.into_iter().filter_map(|v| v.as_str().map(str::to_owned)).collect()
-            }
+            Value::List(l) => l.into_iter().filter_map(|v| v.as_str().map(str::to_owned)).collect(),
             _ => Vec::new(),
         }
     }
@@ -329,9 +323,7 @@ impl ProcessCtx<'_> {
     /// `DnsGetCacheDataTable`: cached domains.
     pub fn dns_cache_table(&mut self) -> Vec<String> {
         match self.call(Api::DnsGetCacheDataTable, args![]) {
-            Value::List(l) => {
-                l.into_iter().filter_map(|v| v.as_str().map(str::to_owned)).collect()
-            }
+            Value::List(l) => l.into_iter().filter_map(|v| v.as_str().map(str::to_owned)).collect(),
             _ => Vec::new(),
         }
     }
@@ -342,9 +334,7 @@ impl ProcessCtx<'_> {
     /// events.
     pub fn system_events(&mut self, limit: u64) -> Vec<String> {
         match self.call(Api::EvtNext, args![limit]) {
-            Value::List(l) => {
-                l.into_iter().filter_map(|v| v.as_str().map(str::to_owned)).collect()
-            }
+            Value::List(l) => l.into_iter().filter_map(|v| v.as_str().map(str::to_owned)).collect(),
             _ => Vec::new(),
         }
     }

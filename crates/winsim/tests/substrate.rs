@@ -5,9 +5,7 @@ use std::sync::Arc;
 
 use tracer::EventKind;
 use winsim::env::{bare_metal_sandbox, end_user_machine, vm_sandbox};
-use winsim::{
-    args, Api, Machine, NtStatus, ProcessCtx, Program, SimError, System, Value,
-};
+use winsim::{args, Api, Machine, NtStatus, ProcessCtx, Program, SimError, System, Value};
 
 struct Chain {
     image: &'static str,
@@ -52,10 +50,7 @@ fn scheduler_runs_process_chains_in_creation_order() {
 fn launch_as_child_validates_parent() {
     let mut m = Machine::new(System::new());
     m.register_program(Arc::new(Chain { image: "a.exe", next: None }));
-    assert!(matches!(
-        m.launch_as_child("a.exe", 99_999),
-        Err(SimError::NoSuchProcess(99_999))
-    ));
+    assert!(matches!(m.launch_as_child("a.exe", 99_999), Err(SimError::NoSuchProcess(99_999))));
 }
 
 #[test]

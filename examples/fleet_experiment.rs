@@ -9,7 +9,7 @@ use std::sync::Arc;
 
 use harness::{Cluster, RunLimits};
 use malware_sim::malgene_corpus;
-use scarecrow::{Config, ResourceDb};
+use scarecrow::{Config, ResourceDb, Scarecrow};
 use winsim::env::bare_metal_sandbox;
 
 fn main() {
@@ -22,14 +22,10 @@ fn main() {
     let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
 
     println!("running {} samples across {workers} simulated cluster nodes...", corpus.len());
-    let report = Cluster::run_corpus_parallel(
-        &corpus,
-        Arc::new(bare_metal_sandbox),
-        &Config::default(),
-        &ResourceDb::builtin(),
-        RunLimits { budget_ms: 60_000, max_processes: 100 },
-        workers,
-    );
+    let engine = Scarecrow::builder(Config::default()).db(ResourceDb::builtin()).build();
+    let cluster = Cluster::new(Arc::new(bare_metal_sandbox), engine)
+        .with_limits(RunLimits { budget_ms: 60_000, max_processes: 100 });
+    let report = cluster.run_corpus_parallel(&corpus, workers);
 
     println!(
         "\ndeactivated: {}/{} ({:.2}%)   self-spawn loops: {}   via IsDebuggerPresent: {}",
@@ -45,6 +41,16 @@ fn main() {
         println!(
             "{:<12} {:>6} {:>12} {:>14}",
             row.family, row.total, row.deactivated, row.kept_spawning
+        );
+    }
+
+    if let Some(t) = report.telemetry() {
+        println!(
+            "\ntelemetry: {} api calls, {} hook hits, {} deception triggers across {} workers",
+            t.counters.get("api_calls").copied().unwrap_or(0),
+            t.counters.get("hook_hits").copied().unwrap_or(0),
+            t.counters.get("deception_triggers").copied().unwrap_or(0),
+            workers,
         );
     }
 

@@ -58,8 +58,8 @@ fn main() {
     );
 
     // 3. extract the evasion signature from the trace deviation
-    let sig = malgene::extract_signature(&evading, &detonating)
-        .expect("deviation with a deciding probe");
+    let sig =
+        malgene::extract_signature(&evading, &detonating).expect("deviation with a deciding probe");
     println!("extracted signature: {}", sig.kind);
 
     // 4. learn it into the deception database

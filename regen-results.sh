@@ -1,9 +1,63 @@
 #!/bin/sh
-# Regenerates every table/figure artifact into results/.
+# Regenerates every table/figure artifact into results/, or gates a change.
+#
+#   ./regen-results.sh              # regenerate all stdout + JSON artifacts
+#   ./regen-results.sh --check      # CI gate: cargo fmt --check, clippy
+#                                   # -D warnings, and verify the experiment
+#                                   # binaries emit their JSON + telemetry
+#                                   # sidecars into a scratch directory
+#
+# Set SCARECROW_OFFLINE=1 to route cargo through scripts/offline-check.sh
+# (the stub-backed harness for containers with no crates cache / network).
 set -e
+cd "$(dirname "$0")"
+
+run_cargo() {
+    if [ "${SCARECROW_OFFLINE:-0}" = "1" ]; then
+        scripts/offline-check.sh "$@"
+    else
+        cargo "$@"
+    fi
+}
+
+clippy_gate() {
+    if [ "${SCARECROW_OFFLINE:-0}" = "1" ]; then
+        scripts/offline-check.sh clippy
+    else
+        cargo clippy --workspace -- -D warnings
+    fi
+}
+
+require_sidecar() {
+    if [ ! -s "$1" ]; then
+        echo "FAIL: expected metrics sidecar $1 was not written (or is empty)" >&2
+        exit 1
+    fi
+    echo "ok: $1"
+}
+
+if [ "${1:-}" = "--check" ]; then
+    echo "== cargo fmt --check =="
+    run_cargo fmt --all --check
+    echo "== cargo clippy -D warnings =="
+    clippy_gate
+    echo "== building experiment binaries =="
+    run_cargo build --release -p scarecrow-bench --bins
+    check_dir="$(mktemp -d)"
+    trap 'rm -rf "$check_dir"' EXIT
+    echo "== verifying JSON + telemetry sidecars (into $check_dir) =="
+    SCARECROW_RESULTS_DIR="$check_dir" ./target/release/table1 >/dev/null
+    SCARECROW_RESULTS_DIR="$check_dir" ./target/release/figure4 >/dev/null
+    for f in table1 table1_telemetry figure4 figure4_telemetry; do
+        require_sidecar "$check_dir/$f.json"
+    done
+    echo "check passed"
+    exit 0
+fi
+
 export SCARECROW_RESULTS_DIR="${SCARECROW_RESULTS_DIR:-results}"
 mkdir -p "$SCARECROW_RESULTS_DIR"
-cargo build --release -p scarecrow-bench --bins
+run_cargo build --release -p scarecrow-bench --bins
 for b in table1 table2 table3 figure4 case_studies benign_impact figure5_space ablation; do
     echo "== $b =="
     ./target/release/$b | tee "$SCARECROW_RESULTS_DIR/$b.txt"

@@ -92,8 +92,7 @@ fn without_child_following_the_second_stage_detonates() {
         Reaction::Exit,
         Payload::CreateProcesses(vec!["stage2.exe".into()]),
     );
-    let engine =
-        Scarecrow::with_builtin_db(Config { follow_children: false, ..Config::default() });
+    let engine = Scarecrow::with_builtin_db(Config { follow_children: false, ..Config::default() });
     let mut m = end_user_machine();
     m.register_program(stage1.into_program());
     m.register_program(stage2.into_program());
@@ -118,11 +117,7 @@ fn self_spawn_loop_is_detected_alarmed_and_bounded() {
     assert!(run.trace.self_spawn_count() > tracer::SELF_SPAWN_LOOP_THRESHOLD);
     assert!(!run.alarms.is_empty());
     // the alarm also lands in the kernel trace
-    assert!(run
-        .trace
-        .events()
-        .iter()
-        .any(|e| matches!(&e.kind, tracer::EventKind::Alarm { .. })));
+    assert!(run.trace.events().iter().any(|e| matches!(&e.kind, tracer::EventKind::Alarm { .. })));
     // the substrate's cap contains the fork bomb
     assert!(m.processes().count() <= 210);
 }
@@ -147,10 +142,8 @@ fn active_mitigation_terminates_the_loop_early() {
     let spawned = run.trace.self_spawn_count();
     assert!(spawned <= 20, "mitigation cut the loop at ~threshold, got {spawned}");
     // every spawned copy is dead afterwards
-    let live = m
-        .processes()
-        .filter(|p| p.image == "loop.exe" && p.state != ProcState::Terminated)
-        .count();
+    let live =
+        m.processes().filter(|p| p.image == "loop.exe" && p.state != ProcState::Terminated).count();
     assert_eq!(live, 0);
 }
 

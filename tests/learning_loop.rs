@@ -8,7 +8,6 @@
 //! 4. the signature is learned into the resource database;
 //! 5. the rebuilt engine deactivates the sample.
 
-
 use malware_sim::{EvasiveLogic, EvasiveSample, Payload, Reaction, Technique};
 use scarecrow::{Config, LearnOutcome, Profile, ResourceDb, Scarecrow};
 use winsim::env::bare_metal_sandbox;
@@ -43,10 +42,7 @@ fn learning_loop_closes_the_gap() {
     let base_db = ResourceDb::builtin();
     assert!(base_db.reg_key(NOVEL_KEY).is_none(), "the probe must be genuinely unknown");
     let engine = Scarecrow::with_db(Config::default(), base_db.clone());
-    assert!(
-        protected_activity_count(&engine) > 0,
-        "novel sample detonates despite protection"
-    );
+    assert!(protected_activity_count(&engine) > 0, "novel sample detonates despite protection");
 
     // --- step 2: paired analysis runs (the MalGene setup) ---------------
     // environment A carries the artifact: the sample evades

@@ -23,22 +23,24 @@ fn file_path() -> impl Strategy<Value = String> {
 
 fn event_kind() -> impl Strategy<Value = EventKind> {
     prop_oneof![
-        ("[a-z]{1,8}\\.exe", 1u32..50, 1u32..50).prop_map(|(image, pid, parent)| {
-            EventKind::ProcessCreate { pid, parent, image }
-        }),
+        ("[a-z]{1,8}\\.exe", 1u32..50, 1u32..50)
+            .prop_map(|(image, pid, parent)| { EventKind::ProcessCreate { pid, parent, image } }),
         file_path().prop_map(|path| EventKind::FileCreate { path }),
         (file_path(), 1u64..1_000_000)
             .prop_map(|(path, bytes)| EventKind::FileWrite { path, bytes }),
         file_path().prop_map(|path| EventKind::FileRead { path }),
         file_path().prop_map(|path| EventKind::FileDelete { path }),
-        (reg_path(), prop_oneof![
-            Just(RegOp::OpenKey),
-            Just(RegOp::QueryValue),
-            Just(RegOp::SetValue),
-            Just(RegOp::CreateKey),
-            Just(RegOp::DeleteKey),
-        ])
-        .prop_map(|(path, op)| EventKind::Registry { op, path }),
+        (
+            reg_path(),
+            prop_oneof![
+                Just(RegOp::OpenKey),
+                Just(RegOp::QueryValue),
+                Just(RegOp::SetValue),
+                Just(RegOp::CreateKey),
+                Just(RegOp::DeleteKey),
+            ]
+        )
+            .prop_map(|(path, op)| EventKind::Registry { op, path }),
         ("[a-z]{1,12}\\.test").prop_map(|domain| EventKind::DnsQuery { domain, resolved: None }),
         ("[a-z]{1,10}").prop_map(|name| EventKind::MutexCreate { name }),
     ]
