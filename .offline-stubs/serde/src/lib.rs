@@ -71,6 +71,8 @@ impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {}
 impl<A: Serialize, B: Serialize, C: Serialize, D: Serialize> Serialize for (A, B, C, D) {}
 impl<T: Serialize, E: Serialize> Serialize for Result<T, E> {}
 
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for std::sync::Arc<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for std::rc::Rc<T> {}
 impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
 impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
 impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {}

@@ -1,0 +1,57 @@
+//! Figure 4 sweep throughput: the copy-on-write snapshot reset path vs a
+//! full factory rebuild per run, and the raw machine-reset primitive each
+//! strategy pays ~2,100 times per full sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+
+use harness::{Cluster, ResetStrategy, RunLimits};
+use malware_sim::malgene_corpus;
+use scarecrow::{Config, Scarecrow};
+use winsim::env::bare_metal_sandbox;
+use winsim::MachineSnapshot;
+
+fn limits() -> RunLimits {
+    RunLimits { budget_ms: 60_000, max_processes: 40 }
+}
+
+/// A slice spread across the corpus so every behaviour class is present.
+fn corpus_slice(n: usize) -> Vec<malware_sim::CorpusSample> {
+    let corpus = malgene_corpus(20200629);
+    corpus.iter().step_by((corpus.len() / n).max(1)).take(n).cloned().collect()
+}
+
+fn bench_reset_strategies(c: &mut Criterion) {
+    let slice = corpus_slice(64);
+    let mut group = c.benchmark_group("figure4_sweep_64");
+    group.sample_size(10);
+    for reset in [ResetStrategy::Snapshot, ResetStrategy::FactoryRebuild] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{reset:?}")),
+            &reset,
+            |b, &reset| {
+                b.iter(|| {
+                    Cluster::new(
+                        Arc::new(bare_metal_sandbox),
+                        Scarecrow::with_builtin_db(Config::default()),
+                    )
+                    .with_limits(limits())
+                    .with_reset_strategy(reset)
+                    .run_corpus_parallel(&slice, 4)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_reset_primitive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("machine_reset");
+    group.bench_function("factory_build", |b| b.iter(bare_metal_sandbox));
+    let snapshot = MachineSnapshot::capture(&bare_metal_sandbox());
+    group.bench_function("snapshot_instantiate", |b| b.iter(|| snapshot.instantiate()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_reset_strategies, bench_reset_primitive);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Measures Figure 4 sweep throughput under both machine-reset strategies
+//! and writes `BENCH_sweep.json` (format documented in EXPERIMENTS.md).
+//!
+//! The JSON is hand-rendered so the numbers survive offline builds where
+//! `serde_json` is stubbed out.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use harness::{CorpusReport, ResetStrategy, RunLimits};
+use scarecrow_bench::figure4;
+
+struct SweepStats {
+    strategy: &'static str,
+    wall_s: f64,
+    samples_per_sec: f64,
+    api_calls: u64,
+    dispatch_ns_per_call: f64,
+}
+
+fn measure(reset: ResetStrategy, limits: RunLimits, workers: usize) -> (CorpusReport, SweepStats) {
+    let started = Instant::now();
+    let report = figure4::run_with_reset(limits, workers, reset);
+    let wall_s = started.elapsed().as_secs_f64();
+    let n = report.results().len();
+    let telemetry = report.telemetry().expect("telemetry on by default");
+    let api_calls = telemetry.counters.get("api_calls").copied().unwrap_or(0);
+    // run-stage wall time (summed across workers) over every dispatched call
+    let run_us: u64 = ["baseline_run", "protected_run"]
+        .iter()
+        .filter_map(|s| telemetry.stages.get(*s))
+        .map(|s| s.total_us)
+        .sum();
+    let stats = SweepStats {
+        strategy: match reset {
+            ResetStrategy::Snapshot => "snapshot",
+            ResetStrategy::FactoryRebuild => "factory_rebuild",
+        },
+        wall_s,
+        samples_per_sec: n as f64 / wall_s,
+        api_calls,
+        dispatch_ns_per_call: if api_calls == 0 {
+            0.0
+        } else {
+            run_us as f64 * 1_000.0 / api_calls as f64
+        },
+    };
+    (report, stats)
+}
+
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+fn render(workers: usize, sweeps: &[SweepStats], speedup: f64, identical: bool) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"experiment\": \"figure4_sweep\",");
+    let _ = writeln!(out, "  \"corpus_samples\": 1054,");
+    let _ = writeln!(out, "  \"workers\": {workers},");
+    let _ = writeln!(out, "  \"scheduler\": \"work_stealing\",");
+    out.push_str("  \"sweeps\": [\n");
+    for (i, s) in sweeps.iter().enumerate() {
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"reset_strategy\": \"{}\",", s.strategy);
+        let _ = writeln!(out, "      \"wall_seconds\": {:.3},", s.wall_s);
+        let _ = writeln!(out, "      \"samples_per_sec\": {:.1},", s.samples_per_sec);
+        let _ = writeln!(out, "      \"api_calls\": {},", s.api_calls);
+        let _ = writeln!(out, "      \"dispatch_ns_per_call\": {:.1}", s.dispatch_ns_per_call);
+        let _ = writeln!(out, "    }}{}", if i + 1 < sweeps.len() { "," } else { "" });
+    }
+    out.push_str("  ],\n");
+    let _ = writeln!(out, "  \"snapshot_speedup\": {speedup:.2},");
+    let _ = writeln!(out, "  \"reports_identical\": {identical},");
+    match peak_rss_kb() {
+        Some(kb) => {
+            let _ = writeln!(out, "  \"peak_rss_kb\": {kb}");
+        }
+        None => {
+            let _ = writeln!(out, "  \"peak_rss_kb\": null");
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_sweep.json".to_owned());
+    let workers = 8;
+    let limits = RunLimits { budget_ms: 60_000, max_processes: 40 };
+
+    eprintln!("figure4 sweep, {workers} workers, snapshot reset...");
+    let (snap_report, snap) = measure(ResetStrategy::Snapshot, limits, workers);
+    eprintln!("  {:.1} samples/sec ({:.1}s)", snap.samples_per_sec, snap.wall_s);
+    eprintln!("figure4 sweep, {workers} workers, factory rebuild per run...");
+    let (rebuild_report, rebuild) = measure(ResetStrategy::FactoryRebuild, limits, workers);
+    eprintln!("  {:.1} samples/sec ({:.1}s)", rebuild.samples_per_sec, rebuild.wall_s);
+
+    let identical = snap_report.results() == rebuild_report.results();
+    assert!(identical, "reset strategies must produce identical reports");
+    assert_eq!(snap_report.deactivated(), 944, "paper statistic drifted");
+
+    let speedup = snap.samples_per_sec / rebuild.samples_per_sec;
+    let json = render(workers, &[snap, rebuild], speedup, identical);
+    std::fs::write(&out_path, &json).expect("write BENCH_sweep.json");
+    eprintln!("speedup {speedup:.2}x -> {out_path}");
+    println!("{json}");
+}

@@ -3,7 +3,7 @@
 
 use std::sync::Arc;
 
-use harness::{Cluster, CorpusReport, RunLimits};
+use harness::{Cluster, CorpusReport, ResetStrategy, RunLimits};
 use malware_sim::malgene_corpus;
 use scarecrow::{Config, ResourceDb, Scarecrow};
 use winsim::env::bare_metal_sandbox;
@@ -17,10 +17,18 @@ pub const CORPUS_SEED: u64 = 20200629; // DSN 2020's opening day
 /// above the 10-spawn verdict threshold yields identical verdicts);
 /// `workers` spreads samples over independent cluster nodes.
 pub fn run(limits: RunLimits, workers: usize) -> CorpusReport {
+    run_with_reset(limits, workers, ResetStrategy::default())
+}
+
+/// [`run`], with an explicit machine reset strategy — the two strategies
+/// produce identical reports; `FactoryRebuild` exists so the snapshot
+/// path's speedup can be measured (see `bench_sweep`).
+pub fn run_with_reset(limits: RunLimits, workers: usize, reset: ResetStrategy) -> CorpusReport {
     let corpus = malgene_corpus(CORPUS_SEED);
     let engine = Scarecrow::builder(Config::default()).db(ResourceDb::builtin()).build();
     Cluster::new(Arc::new(bare_metal_sandbox), engine)
         .with_limits(limits)
+        .with_reset_strategy(reset)
         .run_corpus_parallel(&corpus, workers)
 }
 

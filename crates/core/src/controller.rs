@@ -191,14 +191,17 @@ impl Scarecrow {
 
     /// A snapshot of the engine configuration.
     pub fn config(&self) -> Config {
-        self.state.config.read().clone()
+        self.state.config.read().as_ref().clone()
     }
 
     /// Dynamically reconfigures the engine — the Section III-B IPC path:
     /// every already injected DLL observes the change on its next
     /// intercepted call, without re-injection.
     pub fn update_config<F: FnOnce(&mut Config)>(&self, f: F) {
-        f(&mut self.state.config.write());
+        let mut slot = self.state.config.write();
+        let mut cfg = slot.as_ref().clone();
+        f(&mut cfg);
+        *slot = Arc::new(cfg);
     }
 
     /// Database cardinalities.

@@ -80,8 +80,10 @@ pub const WEAR_APIS: [Api; 7] = [
 /// [`crate::Scarecrow::update_config`] takes effect for every already
 /// injected DLL on its next intercepted call.
 pub struct EngineState {
-    /// Engine configuration (runtime-updatable).
-    pub config: RwLock<Config>,
+    /// Engine configuration (runtime-updatable). The `Arc` lets the
+    /// dispatcher take a refcounted handle per call instead of cloning the
+    /// whole `Config`; updates swap in a freshly built `Arc`.
+    pub config: RwLock<Arc<Config>>,
     /// Faked wear-and-tear values (Table III).
     pub wear: WearTearFakes,
     /// The deceptive resource database.
@@ -92,6 +94,12 @@ pub struct EngineState {
     spawn_counts: Mutex<HashMap<String, usize>>,
     alarms: Mutex<Vec<String>>,
     telemetry: Option<Arc<Telemetry>>,
+    /// Deceptive process names with their profiles, precomputed in db
+    /// iteration order — the db is immutable after construction, so the
+    /// enumeration arms need not re-collect it per call.
+    proc_list: Vec<(String, Profile)>,
+    /// Deceptive DLL names with their profiles, precomputed likewise.
+    dll_list: Vec<(String, Profile)>,
 }
 
 impl std::fmt::Debug for EngineState {
@@ -104,8 +112,12 @@ impl EngineState {
     /// Creates engine state around a database and a trigger channel.
     pub fn new(config: Config, db: Arc<ResourceDb>, tx: Sender<Trigger>) -> Self {
         let profiles = ProfileManager::new(config.exclusive_profiles);
+        let proc_list =
+            db.process_names().filter_map(|n| db.process(n).map(|p| (n.to_owned(), p))).collect();
+        let dll_list =
+            db.dll_names().filter_map(|n| db.dll(n).map(|p| (n.to_owned(), p))).collect();
         EngineState {
-            config: RwLock::new(config),
+            config: RwLock::new(Arc::new(config)),
             wear: WearTearFakes::default(),
             db,
             profiles,
@@ -113,6 +125,8 @@ impl EngineState {
             spawn_counts: Mutex::new(HashMap::new()),
             alarms: Mutex::new(Vec::new()),
             telemetry: None,
+            proc_list,
+            dll_list,
         }
     }
 
@@ -231,14 +245,14 @@ fn wear_reg_override(state: &EngineState, path: &str, what: &str) -> Option<u64>
 /// The engine dispatcher body.
 #[allow(clippy::too_many_lines)] // one arm per hooked API, like the real DLL
 fn handle(state: &EngineState, call: &mut ApiCall<'_>) -> Value {
-    let cfg = state.config.read().clone();
-    let cfg = &cfg;
+    let cfg = Arc::clone(&*state.config.read());
+    let cfg = &*cfg;
     match call.api {
         // ---------- registry ----------
         Api::RegOpenKeyEx | Api::NtOpenKeyEx => {
-            let path = call.args.str(0).to_owned();
             if cfg.software {
-                if let Some(p) = state.active(state.db.reg_key(&path)) {
+                if let Some(p) = state.active(state.db.reg_key(call.args.str(0))) {
+                    let path = call.args.str(0).to_owned();
                     state.report(call, Category::Registry, &path, p);
                     return Value::Status(NtStatus::Success);
                 }
@@ -246,28 +260,31 @@ fn handle(state: &EngineState, call: &mut ApiCall<'_>) -> Value {
             call.call_original()
         }
         Api::RegQueryValueEx | Api::NtQueryValueKey => {
-            let path = call.args.str(0).to_owned();
-            let name = call.args.str(1).to_owned();
             if cfg.software {
-                let hit = state.db.reg_value(&path, &name).map(|(d, p)| (d.to_owned(), p));
-                if let Some((data, p)) = hit.filter(|(_, p)| state.profiles.active(*p)) {
-                    state.report(call, Category::Registry, &format!("{path}\\{name}"), p);
+                let hit = state
+                    .db
+                    .reg_value(call.args.str(0), call.args.str(1))
+                    .filter(|(_, p)| state.profiles.active(*p))
+                    .map(|(d, p)| (d.to_owned(), p));
+                if let Some((data, p)) = hit {
+                    let path = format!("{}\\{}", call.args.str(0), call.args.str(1));
+                    state.report(call, Category::Registry, &path, p);
                     return Value::Str(data);
                 }
             }
             call.call_original()
         }
         Api::NtQueryKey => {
-            let path = call.args.str(0).to_owned();
-            let what = call.args.str(1).to_owned();
             if cfg.weartear {
-                if let Some(n) = wear_reg_override(state, &path, &what) {
+                if let Some(n) = wear_reg_override(state, call.args.str(0), call.args.str(1)) {
+                    let path = call.args.str(0).to_owned();
                     state.report(call, Category::WearTear, &path, Profile::Generic);
                     return Value::U64(n);
                 }
             }
             if cfg.software {
-                if let Some(p) = state.active(state.db.reg_key(&path)) {
+                if let Some(p) = state.active(state.db.reg_key(call.args.str(0))) {
+                    let path = call.args.str(0).to_owned();
                     state.report(call, Category::Registry, &path, p);
                     return Value::U64(1);
                 }
@@ -277,9 +294,9 @@ fn handle(state: &EngineState, call: &mut ApiCall<'_>) -> Value {
 
         // ---------- files & devices ----------
         Api::NtQueryAttributesFile | Api::GetFileAttributes => {
-            let path = call.args.str(0).to_owned();
             if cfg.software {
-                if let Some(p) = state.active(state.db.file(&path)) {
+                if let Some(p) = state.active(state.db.file(call.args.str(0))) {
+                    let path = call.args.str(0).to_owned();
                     state.report(call, Category::File, &path, p);
                     return match call.api {
                         Api::GetFileAttributes => Value::U64(0x80),
@@ -290,16 +307,16 @@ fn handle(state: &EngineState, call: &mut ApiCall<'_>) -> Value {
             call.call_original()
         }
         Api::NtCreateFile | Api::CreateFile => {
-            let path = call.args.str(0).to_owned();
-            let create = call.args.str(1) == "create";
-            if cfg.software && !create {
-                if let Some(dev) = path.strip_prefix(r"\\.\") {
-                    if let Some(p) = state.active(state.db.device(dev)) {
-                        state.report(call, Category::Device, &path, p);
-                        return Value::Status(NtStatus::Success);
+            if cfg.software && call.args.str(1) != "create" {
+                let hit = match call.args.str(0).strip_prefix(r"\\.\") {
+                    Some(dev) => state.active(state.db.device(dev)).map(|p| (Category::Device, p)),
+                    None => {
+                        state.active(state.db.file(call.args.str(0))).map(|p| (Category::File, p))
                     }
-                } else if let Some(p) = state.active(state.db.file(&path)) {
-                    state.report(call, Category::File, &path, p);
+                };
+                if let Some((category, p)) = hit {
+                    let path = call.args.str(0).to_owned();
+                    state.report(call, category, &path, p);
                     return Value::Status(NtStatus::Success);
                 }
             }
@@ -364,9 +381,9 @@ fn handle(state: &EngineState, call: &mut ApiCall<'_>) -> Value {
             call.call_original()
         }
         Api::OpenProcess => {
-            let image = call.args.str(0).to_owned();
             if cfg.software {
-                if let Some(p) = state.active(state.db.process(&image)) {
+                if let Some(p) = state.active(state.db.process(call.args.str(0))) {
+                    let image = call.args.str(0).to_owned();
                     state.report(call, Category::Process, &image, p);
                     return Value::U64(0xFEED);
                 }
@@ -377,18 +394,17 @@ fn handle(state: &EngineState, call: &mut ApiCall<'_>) -> Value {
             let result = call.call_original();
             if cfg.software {
                 if let Some(handle) = result.as_u64() {
-                    let names: Vec<(String, Profile)> = state
-                        .db
-                        .process_names()
-                        .map(str::to_owned)
-                        .filter_map(|n| state.db.process(&n).map(|p| (n, p)))
-                        .collect();
                     let mut reported = false;
-                    for (name, profile) in names {
-                        if state.profiles.active(profile) {
-                            call.machine().snapshot_append(handle, &name);
+                    for (name, profile) in &state.proc_list {
+                        if state.profiles.active(*profile) {
+                            call.machine().snapshot_append(handle, name);
                             if !reported {
-                                state.report(call, Category::Process, "toolhelp snapshot", profile);
+                                state.report(
+                                    call,
+                                    Category::Process,
+                                    "toolhelp snapshot",
+                                    *profile,
+                                );
                                 reported = true;
                             }
                         }
@@ -404,17 +420,16 @@ fn handle(state: &EngineState, call: &mut ApiCall<'_>) -> Value {
             }
             let mut merged: Vec<Value> = original.as_list().unwrap_or(&[]).to_vec();
             let mut reported = false;
-            let extra: Vec<String> = state.db.process_names().map(str::to_owned).collect();
-            for name in extra {
-                if let Some(p) = state.active(state.db.process(&name)) {
+            for (name, profile) in &state.proc_list {
+                if state.profiles.active(*profile) {
                     if !merged
                         .iter()
-                        .any(|v| v.as_str().is_some_and(|s| s.eq_ignore_ascii_case(&name)))
+                        .any(|v| v.as_str().is_some_and(|s| s.eq_ignore_ascii_case(name)))
                     {
                         merged.push(Value::Str(name.clone()));
                     }
                     if !reported {
-                        state.report(call, Category::Process, "process enumeration", p);
+                        state.report(call, Category::Process, "process enumeration", *profile);
                         reported = true;
                     }
                 }
@@ -424,9 +439,9 @@ fn handle(state: &EngineState, call: &mut ApiCall<'_>) -> Value {
 
         // ---------- modules ----------
         Api::GetModuleHandle | Api::LoadLibrary => {
-            let name = call.args.str(0).to_owned();
             if cfg.software {
-                if let Some(p) = state.active(state.db.dll(&name)) {
+                if let Some(p) = state.active(state.db.dll(call.args.str(0))) {
+                    let name = call.args.str(0).to_owned();
                     state.report(call, Category::Dll, &name, p);
                     return Value::U64(0x5CA2_EC20);
                 }
@@ -439,13 +454,12 @@ fn handle(state: &EngineState, call: &mut ApiCall<'_>) -> Value {
                 return original;
             }
             let mut merged: Vec<Value> = original.as_list().unwrap_or(&[]).to_vec();
-            let extra: Vec<String> = state.db.dll_names().map(str::to_owned).collect();
             let mut reported = false;
-            for name in extra {
-                if let Some(p) = state.active(state.db.dll(&name)) {
+            for (name, profile) in &state.dll_list {
+                if state.profiles.active(*profile) {
                     merged.push(Value::Str(name.clone()));
                     if !reported {
-                        state.report(call, Category::Dll, "module enumeration", p);
+                        state.report(call, Category::Dll, "module enumeration", *profile);
                         reported = true;
                     }
                 }
@@ -453,11 +467,10 @@ fn handle(state: &EngineState, call: &mut ApiCall<'_>) -> Value {
             Value::List(merged)
         }
         Api::GetProcAddress => {
-            let module = call.args.str(0).to_owned();
-            let proc = call.args.str(1).to_owned();
             if cfg.software {
-                if let Some(p) = state.active(state.db.export(&module, &proc)) {
-                    state.report(call, Category::Dll, &format!("{module}!{proc}"), p);
+                if let Some(p) = state.active(state.db.export(call.args.str(0), call.args.str(1))) {
+                    let name = format!("{}!{}", call.args.str(0), call.args.str(1));
+                    state.report(call, Category::Dll, &name, p);
                     return Value::U64(0x5CA2_EC24);
                 }
             }
@@ -466,14 +479,13 @@ fn handle(state: &EngineState, call: &mut ApiCall<'_>) -> Value {
 
         // ---------- GUI ----------
         Api::FindWindow => {
-            let class = call.args.str(0).to_owned();
-            let title = call.args.str(1).to_owned();
             if cfg.software {
                 let hit = state
-                    .active(state.db.window(&class))
-                    .or_else(|| state.active(state.db.window(&title)));
+                    .active(state.db.window(call.args.str(0)))
+                    .or_else(|| state.active(state.db.window(call.args.str(1))));
                 if let Some(p) = hit {
-                    state.report(call, Category::Window, &format!("{class}{title}"), p);
+                    let resource = format!("{}{}", call.args.str(0), call.args.str(1));
+                    state.report(call, Category::Window, &resource, p);
                     return Value::Bool(true);
                 }
             }
@@ -631,16 +643,21 @@ fn handle(state: &EngineState, call: &mut ApiCall<'_>) -> Value {
                     let original = call.call_original();
                     let mut merged: Vec<Value> = original.as_list().unwrap_or(&[]).to_vec();
                     let mut reported = false;
-                    for name in state.db.process_names().map(str::to_owned).collect::<Vec<_>>() {
-                        if let Some(p) = state.active(state.db.process(&name)) {
+                    for (name, profile) in &state.proc_list {
+                        if state.profiles.active(*profile) {
                             if !merged
                                 .iter()
-                                .any(|v| v.as_str().is_some_and(|s| s.eq_ignore_ascii_case(&name)))
+                                .any(|v| v.as_str().is_some_and(|s| s.eq_ignore_ascii_case(name)))
                             {
-                                merged.push(Value::Str(name));
+                                merged.push(Value::Str(name.clone()));
                             }
                             if !reported {
-                                state.report(call, Category::Process, "process enumeration", p);
+                                state.report(
+                                    call,
+                                    Category::Process,
+                                    "process enumeration",
+                                    *profile,
+                                );
                                 reported = true;
                             }
                         }

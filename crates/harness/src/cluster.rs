@@ -1,17 +1,31 @@
 //! The cluster: per-sample paired execution with Deep-Freeze semantics.
 
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use malware_sim::CorpusSample;
-use scarecrow::{Config, ProtectedRun, ResourceDb, Scarecrow};
+use scarecrow::{ProtectedRun, Scarecrow};
 use tracer::{Counter, Stage, Telemetry, TelemetrySnapshot, Trace, Verdict};
-use winsim::{Machine, Program};
+use winsim::{Machine, MachineSnapshot, Program};
 
 use crate::report::{CorpusReport, SampleResult};
 
 /// Builds a fresh machine per run — the simulation's Deep Freeze.
 pub type MachineFactory = Arc<dyn Fn() -> Machine + Send + Sync>;
+
+/// How the cluster produces a pristine machine for each run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ResetStrategy {
+    /// Build the preset once, capture a [`MachineSnapshot`], and reset by
+    /// copy-on-write clone — O(dirty state) per run instead of a full
+    /// rebuild. The default.
+    #[default]
+    Snapshot,
+    /// Call the [`MachineFactory`] from scratch for every run. Kept for
+    /// benchmarking the snapshot path and as a determinism cross-check.
+    FactoryRebuild,
+}
 
 /// Per-run resource limits.
 ///
@@ -49,6 +63,10 @@ pub struct Cluster {
     factory: MachineFactory,
     engine: Scarecrow,
     limits: RunLimits,
+    reset: ResetStrategy,
+    /// Lazily captured preset snapshot (under [`ResetStrategy::Snapshot`]);
+    /// shared with parallel workers so a sweep builds the preset once.
+    snapshot: OnceLock<Arc<MachineSnapshot>>,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -60,12 +78,25 @@ impl std::fmt::Debug for Cluster {
 impl Cluster {
     /// Creates a cluster over a machine preset and a deception engine.
     pub fn new(factory: MachineFactory, engine: Scarecrow) -> Self {
-        Cluster { factory, engine, limits: RunLimits::default() }
+        Cluster {
+            factory,
+            engine,
+            limits: RunLimits::default(),
+            reset: ResetStrategy::default(),
+            snapshot: OnceLock::new(),
+        }
     }
 
     /// Overrides run limits.
     pub fn with_limits(mut self, limits: RunLimits) -> Self {
         self.limits = limits;
+        self
+    }
+
+    /// Overrides the machine reset strategy (default:
+    /// [`ResetStrategy::Snapshot`]).
+    pub fn with_reset_strategy(mut self, reset: ResetStrategy) -> Self {
+        self.reset = reset;
         self
     }
 
@@ -90,9 +121,18 @@ impl Cluster {
         }
     }
 
+    /// The shared preset snapshot, capturing the factory's machine on
+    /// first use. Every subsequent reset is a copy-on-write clone.
+    fn preset_snapshot(&self) -> &Arc<MachineSnapshot> {
+        self.snapshot.get_or_init(|| Arc::new(MachineSnapshot::capture(&(self.factory)())))
+    }
+
     fn fresh_machine(&self) -> Machine {
         let started = Instant::now();
-        let mut m = (self.factory)();
+        let mut m = match self.reset {
+            ResetStrategy::Snapshot => self.preset_snapshot().instantiate(),
+            ResetStrategy::FactoryRebuild => (self.factory)(),
+        };
         m.budget_ms = self.limits.budget_ms;
         m.max_processes = self.limits.max_processes;
         m.set_telemetry(self.engine.telemetry().cloned());
@@ -155,57 +195,50 @@ impl Cluster {
 
     /// Runs the corpus across `workers` threads, each on a
     /// [`Scarecrow::worker`] engine sharing this cluster's database `Arc`,
-    /// machine factory, and limits (worker isolation mirrors the paper's
-    /// independent cluster nodes). Per-worker telemetry snapshots are
-    /// merged into the report's snapshot, so a parallel sweep aggregates
-    /// to the same counts as [`Cluster::run_corpus`].
+    /// machine factory, limits, and preset snapshot (worker isolation
+    /// mirrors the paper's independent cluster nodes).
+    ///
+    /// Work is distributed by stealing from a shared atomic index rather
+    /// than static chunking, so a worker stuck on an expensive sample
+    /// (e.g. a deep self-spawn loop) never leaves the others idle. Result
+    /// order is still the corpus order, and per-worker telemetry snapshots
+    /// are merged into the report's snapshot, so a parallel sweep
+    /// aggregates to the same counts as [`Cluster::run_corpus`].
     pub fn run_corpus_parallel(&self, corpus: &[CorpusSample], workers: usize) -> CorpusReport {
-        let workers = workers.max(1);
-        let chunk = corpus.len().div_ceil(workers).max(1);
-        let mut results: Vec<Option<SampleResult>> = vec![None; corpus.len()];
+        let workers = workers.max(1).min(corpus.len().max(1));
+        let next = AtomicUsize::new(0);
+        let slots: Vec<OnceLock<SampleResult>> =
+            (0..corpus.len()).map(|_| OnceLock::new()).collect();
         let mut snapshots: Vec<TelemetrySnapshot> = Vec::new();
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
-            for (wi, samples) in corpus.chunks(chunk).enumerate() {
+            for _ in 0..workers {
                 let worker = Cluster::new(Arc::clone(&self.factory), self.engine.worker())
-                    .with_limits(self.limits);
-                handles.push((
-                    wi,
-                    scope.spawn(move || {
-                        let results =
-                            samples.iter().map(|s| worker.run_corpus_sample(s)).collect::<Vec<_>>();
-                        (results, worker.telemetry_snapshot())
-                    }),
-                ));
-            }
-            for (wi, handle) in handles {
-                let (worker_results, snapshot) = handle.join().expect("worker panicked");
-                for (i, r) in worker_results.into_iter().enumerate() {
-                    results[wi * chunk + i] = Some(r);
+                    .with_limits(self.limits)
+                    .with_reset_strategy(self.reset);
+                if self.reset == ResetStrategy::Snapshot {
+                    // capture once on this thread; workers share the Arc
+                    let _ = worker.snapshot.set(Arc::clone(self.preset_snapshot()));
                 }
-                snapshots.extend(snapshot);
+                let next = &next;
+                let slots = &slots;
+                handles.push(scope.spawn(move || {
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(s) = corpus.get(i) else { break };
+                        let done = slots[i].set(worker.run_corpus_sample(s));
+                        debug_assert!(done.is_ok(), "index {i} claimed twice");
+                    }
+                    worker.telemetry_snapshot()
+                }));
+            }
+            for handle in handles {
+                snapshots.extend(handle.join().expect("worker panicked"));
             }
         });
         let telemetry = (!snapshots.is_empty()).then(|| TelemetrySnapshot::merged(snapshots));
-        CorpusReport::new(results.into_iter().map(|r| r.expect("all samples ran")).collect())
-            .with_telemetry(telemetry)
-    }
-
-    /// Legacy detached parallel sweep.
-    #[deprecated(
-        since = "0.2.0",
-        note = "build a Cluster and call the run_corpus_parallel instance method"
-    )]
-    pub fn run_corpus_parallel_with(
-        corpus: &[CorpusSample],
-        factory: MachineFactory,
-        config: &Config,
-        db: &ResourceDb,
-        limits: RunLimits,
-        workers: usize,
-    ) -> CorpusReport {
-        let engine = Scarecrow::with_db(config.clone(), db.clone());
-        Cluster::new(factory, engine).with_limits(limits).run_corpus_parallel(corpus, workers)
+        let results = slots.into_iter().map(|s| s.into_inner().expect("all samples ran")).collect();
+        CorpusReport::new(results).with_telemetry(telemetry)
     }
 }
 
@@ -235,6 +268,7 @@ mod tests {
     use super::*;
     use malware_sim::samples::joe::joe_samples;
     use malware_sim::{malgene_corpus, SampleClass};
+    use scarecrow::Config;
     use winsim::env::bare_metal_sandbox;
 
     fn cluster() -> Cluster {
@@ -322,20 +356,31 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_detached_parallel_sweep_still_works() {
-        let corpus: Vec<_> = malgene_corpus(3).into_iter().take(8).collect();
+    fn snapshot_restore_matches_factory_rebuild() {
+        let corpus: Vec<_> = malgene_corpus(3).into_iter().take(12).collect();
         let limits = RunLimits { budget_ms: 60_000, max_processes: 60 };
-        let par = Cluster::run_corpus_parallel_with(
-            &corpus,
-            Arc::new(bare_metal_sandbox),
-            &Config::default(),
-            &ResourceDb::builtin(),
-            limits,
-            2,
-        );
-        let seq = cluster().with_limits(limits).run_corpus(&corpus);
-        assert_eq!(seq, par);
+        let snap = cluster().with_limits(limits);
+        let rebuild =
+            cluster().with_limits(limits).with_reset_strategy(ResetStrategy::FactoryRebuild);
+        // per-sample: byte-identical traces and equal verdicts
+        for s in &corpus {
+            let a = snap.run_pair(s.sample.clone().into_program());
+            let b = rebuild.run_pair(s.sample.clone().into_program());
+            assert_eq!(a.baseline, b.baseline, "{}: baseline trace differs", s.md5);
+            assert_eq!(a.protected.trace, b.protected.trace, "{}: protected trace differs", s.md5);
+            assert_eq!(a.verdict, b.verdict, "{}", s.md5);
+        }
+        // whole sweeps: reports and telemetry counters agree
+        let ra = snap.run_corpus(&corpus);
+        let rb = rebuild.run_corpus(&corpus);
+        assert_eq!(ra.results(), rb.results());
+        let ta = ra.telemetry().expect("telemetry on by default");
+        let tb = rb.telemetry().expect("telemetry on by default");
+        assert!(ta.counters_agree(tb), "snapshot {ta:#?}\nrebuild {tb:#?}");
+        // and the work-stealing parallel sweep matches both
+        let rp = snap.run_corpus_parallel(&corpus, 4);
+        assert_eq!(ra.results(), rp.results());
+        assert!(ta.counters_agree(rp.telemetry().expect("telemetry on by default")));
     }
 
     #[test]

@@ -19,7 +19,7 @@ mod report;
 mod validation;
 
 pub use artifacts::ArtifactError;
-pub use cluster::{Cluster, MachineFactory, RunLimits, RunPair};
+pub use cluster::{Cluster, MachineFactory, ResetStrategy, RunLimits, RunPair};
 pub use probe::spawn_probe;
 pub use report::{BenignReport, CorpusReport, FamilyRow, SampleResult};
 pub use validation::CriterionScore;

@@ -19,9 +19,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::{Arc, Weak};
 
-use winsim::{Api, ApiCall, ApiHook, Machine, Pid, SimError, Value, PROLOGUE_LEN};
+use winsim::{
+    Api, ApiCall, ApiHook, HookTable, Machine, Pid, SimError, Value, HOOKED_PROLOGUE, PROLOGUE_LEN,
+};
 
 /// The in-line hook detection of the paper's Figure 1: a function whose
 /// first two bytes are no longer the hot-patch `mov edi, edi` (`8B FF`) has
@@ -117,10 +120,17 @@ impl ApiHook for LabeledHook {
 
 /// Injects a [`DllImage`] into processes and keeps it injected across
 /// process creation (the descendant-following mechanism of Section III-B).
+///
+/// The injector prebuilds one [`HookTable`] — every labeled hook plus the
+/// child-following hooks — at construction. Injection into a hook-free
+/// process then shares that table (two refcount bumps) instead of
+/// allocating ~30 wrapper hooks per process, which matters when a looping
+/// sample spawns hundreds of descendants.
 #[derive(Clone)]
 pub struct Injector {
     dll: Arc<DllImage>,
     follow_children: bool,
+    table: HookTable,
 }
 
 impl std::fmt::Debug for Injector {
@@ -135,13 +145,17 @@ impl std::fmt::Debug for Injector {
 impl Injector {
     /// Creates an injector for a DLL image that follows child processes.
     pub fn new(dll: DllImage) -> Self {
-        Injector { dll: Arc::new(dll), follow_children: true }
+        let dll = Arc::new(dll);
+        let table = build_table(&dll, true);
+        Injector { dll, follow_children: true, table }
     }
 
     /// Creates an injector that does *not* propagate to children (for
     /// ablation experiments).
     pub fn without_follow(dll: DllImage) -> Self {
-        Injector { dll: Arc::new(dll), follow_children: false }
+        let dll = Arc::new(dll);
+        let table = build_table(&dll, false);
+        Injector { dll, follow_children: false, table }
     }
 
     /// The injected DLL.
@@ -153,30 +167,7 @@ impl Injector {
     /// installs every hook. Idempotent per process (a second injection is
     /// skipped, as the module is already mapped).
     pub fn inject(&self, machine: &mut Machine, pid: Pid) {
-        let already = machine.process(pid).map(|p| p.module_loaded(&self.dll.name)).unwrap_or(true);
-        if already {
-            return;
-        }
-        if let Some(p) = machine.process_mut(pid) {
-            p.load_module(&self.dll.name);
-        }
-        machine.record(pid, tracer::EventKind::ImageLoad { pid, image: self.dll.name.clone() });
-        for (api, hook) in &self.dll.hooks {
-            machine.install_hook(
-                pid,
-                *api,
-                Arc::new(LabeledHook { label: self.dll.label.clone(), inner: Arc::clone(hook) }),
-            );
-        }
-        if self.follow_children {
-            for api in [Api::CreateProcess, Api::ShellExecuteEx] {
-                machine.install_hook(
-                    pid,
-                    api,
-                    Arc::new(FollowChildrenHook { injector: self.clone() }),
-                );
-            }
-        }
+        inject_table(machine, pid, &self.dll.name, &self.table);
     }
 
     /// Removes this DLL's hooks (and follow hooks) from a process and
@@ -220,11 +211,89 @@ impl Injector {
 
 const FOLLOW_LABEL: &str = "injector-follow";
 
+/// Maps the module and installs the table's hooks. Idempotent per process.
+fn inject_table(machine: &mut Machine, pid: Pid, dll_name: &str, table: &HookTable) {
+    let already = machine.process(pid).map(|p| p.module_loaded(dll_name)).unwrap_or(true);
+    if already {
+        return;
+    }
+    if let Some(p) = machine.process_mut(pid) {
+        p.load_module(dll_name);
+    }
+    machine.record(pid, tracer::EventKind::ImageLoad { pid, image: dll_name.to_owned() });
+    machine.install_hook_table(pid, table);
+}
+
+/// Builds the combined hook table: the DLL's labeled hooks first, then (if
+/// following) the child-follow hooks on `CreateProcess`/`ShellExecuteEx` —
+/// the same chain order repeated `install_hook` calls would produce.
+///
+/// The follow hooks live *inside* the table they re-install into children,
+/// so they hold the chain map through a [`Weak`] (via [`Arc::new_cyclic`])
+/// to avoid a reference cycle.
+fn build_table(dll: &Arc<DllImage>, follow: bool) -> HookTable {
+    let mut pro = HashMap::new();
+    for (api, _) in &dll.hooks {
+        pro.insert(*api, HOOKED_PROLOGUE);
+    }
+    if follow {
+        pro.insert(Api::CreateProcess, HOOKED_PROLOGUE);
+        pro.insert(Api::ShellExecuteEx, HOOKED_PROLOGUE);
+    }
+    let prologues = Arc::new(pro);
+    let count = dll.hooks.len() + if follow { 2 } else { 0 };
+    let hooks = Arc::new_cyclic(|weak: &Weak<HashMap<Api, winsim::HookChain>>| {
+        let mut map: HashMap<Api, Vec<Arc<dyn ApiHook>>> = HashMap::new();
+        for (api, hook) in &dll.hooks {
+            map.entry(*api)
+                .or_default()
+                .push(Arc::new(LabeledHook { label: dll.label.clone(), inner: Arc::clone(hook) }));
+        }
+        if follow {
+            for api in [Api::CreateProcess, Api::ShellExecuteEx] {
+                map.entry(api).or_default().push(Arc::new(FollowChildrenHook {
+                    dll: Arc::clone(dll),
+                    hooks: Weak::clone(weak),
+                    prologues: Arc::clone(&prologues),
+                    count,
+                }));
+            }
+        }
+        map.into_iter().map(|(api, chain)| (api, Arc::new(chain))).collect()
+    });
+    HookTable { hooks, prologues, count }
+}
+
 /// The `CreateProcess`/`ShellExecuteEx` hook that implements descendant
 /// following: force-suspend the child, inject, then resume if the caller
 /// didn't ask for suspension.
 struct FollowChildrenHook {
-    injector: Injector,
+    dll: Arc<DllImage>,
+    /// Weak back-reference to the combined table this hook is part of.
+    /// Upgrading succeeds whenever the hook can be invoked — the calling
+    /// process's own hook map keeps the table alive.
+    hooks: Weak<HashMap<Api, winsim::HookChain>>,
+    prologues: Arc<HashMap<Api, [u8; PROLOGUE_LEN]>>,
+    count: usize,
+}
+
+impl FollowChildrenHook {
+    fn inject_child(&self, machine: &mut Machine, child: Pid) {
+        match self.hooks.upgrade() {
+            Some(hooks) => {
+                let table =
+                    HookTable { hooks, prologues: Arc::clone(&self.prologues), count: self.count };
+                inject_table(machine, child, &self.dll.name, &table);
+            }
+            None => {
+                // Every process sharing the table is gone (possible when
+                // this hook's chain was merged into a foreign map):
+                // rebuild the table rather than drop the child.
+                let table = build_table(&self.dll, true);
+                inject_table(machine, child, &self.dll.name, &table);
+            }
+        }
+    }
 }
 
 impl ApiHook for FollowChildrenHook {
@@ -241,7 +310,7 @@ impl ApiHook for FollowChildrenHook {
         let result = call.call_original();
         let child = result.as_u64().unwrap_or(0) as Pid;
         if child != 0 {
-            self.injector.inject(call.machine(), child);
+            self.inject_child(call.machine(), child);
             if !caller_wants_suspended {
                 call.machine().resume(child);
             }

@@ -8,6 +8,7 @@
 //! code can detect by reading the bytes back. The hook chain then receives
 //! the call before (or instead of) the kernel's default implementation.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
@@ -284,6 +285,38 @@ where
     }
 }
 
+/// One API's installed hooks, outermost first, shared across processes.
+pub type HookChain = Arc<Vec<Arc<dyn ApiHook>>>;
+
+/// A shared per-API map of hook chains.
+pub type HookMap = Arc<HashMap<Api, HookChain>>;
+
+/// A prebuilt set of hook chains plus their patched prologues, installable
+/// into a process wholesale via `Machine::install_hook_table`.
+///
+/// Both maps are behind `Arc`s: installing the table into a process that
+/// has no hooks yet is two refcount bumps, so injecting the same DLL into
+/// every spawned child costs O(1) per child instead of O(hooks).
+#[derive(Clone)]
+pub struct HookTable {
+    /// Per-API hook chains (innermost last), shared across processes.
+    pub hooks: HookMap,
+    /// Patched prologues for every hooked API.
+    pub prologues: Arc<HashMap<Api, [u8; PROLOGUE_LEN]>>,
+    /// Total installed hook count (for `HookInstalls` telemetry parity
+    /// with one-at-a-time installation).
+    pub count: usize,
+}
+
+impl std::fmt::Debug for HookTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HookTable")
+            .field("apis", &self.hooks.len())
+            .field("count", &self.count)
+            .finish()
+    }
+}
+
 /// An in-flight API call traversing the hook chain.
 pub struct ApiCall<'m> {
     /// The API being called.
@@ -293,21 +326,28 @@ pub struct ApiCall<'m> {
     /// The calling process.
     pub pid: Pid,
     pub(crate) machine: &'m mut Machine,
-    pub(crate) chain: Vec<Arc<dyn ApiHook>>,
+    /// `None` for unhooked APIs — avoids allocating an empty chain on the
+    /// (overwhelmingly common) baseline-run dispatch path.
+    pub(crate) chain: Option<HookChain>,
     pub(crate) idx: usize,
 }
 
 impl<'m> ApiCall<'m> {
+    fn chain_len(&self) -> usize {
+        self.chain.as_ref().map_or(0, |c| c.len())
+    }
+
     /// Invokes the next hook in the chain, or the default implementation
     /// once the chain is exhausted — the trampoline a real inline hook
     /// would jump through.
     pub fn call_original(&mut self) -> Value {
-        if self.idx < self.chain.len() {
-            let hook = Arc::clone(&self.chain[self.idx]);
+        if self.idx < self.chain_len() {
+            let hook =
+                Arc::clone(&self.chain.as_ref().expect("chain_len > 0 implies chain")[self.idx]);
             self.idx += 1;
             hook.invoke(self)
         } else {
-            if !self.chain.is_empty() {
+            if self.chain_len() > 0 {
                 if let Some(t) = self.machine.telemetry() {
                     t.incr(tracer::Counter::TrampolinePassthroughs);
                 }
@@ -328,7 +368,7 @@ impl std::fmt::Debug for ApiCall<'_> {
             .field("api", &self.api)
             .field("pid", &self.pid)
             .field("args", &self.args)
-            .field("chain_len", &self.chain.len())
+            .field("chain_len", &self.chain_len())
             .field("idx", &self.idx)
             .finish()
     }

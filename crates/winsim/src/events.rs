@@ -6,6 +6,7 @@
 //! system events" (Table III).
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
@@ -29,9 +30,11 @@ pub struct SysEvent {
 /// assert_eq!(log.recent(8_000).len(), 8_000);
 /// assert_eq!(EventLog::distinct_sources(log.recent(8_000)), 2);
 /// ```
+/// The seeded event store is `Arc`-shared so machine snapshots clone in
+/// O(1); the first post-clone `push` copies it (copy-on-write).
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct EventLog {
-    events: Vec<SysEvent>,
+    events: Arc<Vec<SysEvent>>,
 }
 
 impl EventLog {
@@ -42,7 +45,11 @@ impl EventLog {
 
     /// Appends an event.
     pub fn push(&mut self, source: &str, event_id: u32, time: u64) {
-        self.events.push(SysEvent { source: source.to_owned(), event_id, time });
+        Arc::make_mut(&mut self.events).push(SysEvent {
+            source: source.to_owned(),
+            event_id,
+            time,
+        });
     }
 
     /// Seeds the log with `count` synthetic events spread over `sources`,

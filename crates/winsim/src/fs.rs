@@ -6,7 +6,9 @@
 //! fakes a small disk (50 GB, Section II-B). Ransomware payloads encrypt
 //! user files here, which the tracer observes as writes and renames.
 
+use std::borrow::Cow;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
@@ -52,14 +54,24 @@ pub struct FileNode {
 /// assert!(fs.rename(r"C:\Users\u\Documents\report.docx",
 ///                   r"C:\Users\u\Documents\report.docx.WCRY"));
 /// ```
+/// The file map is `Arc`-shared so machine snapshots clone in O(1); the
+/// first write after a clone copies the map (copy-on-write via
+/// [`Arc::make_mut`]).
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FileSystem {
-    files: BTreeMap<String, FileNode>,
+    files: Arc<BTreeMap<String, FileNode>>,
     drives: BTreeMap<char, DriveInfo>,
 }
 
-fn norm(path: &str) -> String {
-    path.replace('/', "\\").trim_end_matches('\\').to_ascii_lowercase()
+/// Allocation-free for paths that are already backslashed and lowercase.
+fn norm(path: &str) -> Cow<'_, str> {
+    let trimmed = path.trim_end_matches('\\');
+    if trimmed.bytes().any(|b| b == b'/' || b.is_ascii_uppercase()) {
+        let replaced = trimmed.replace('/', "\\");
+        Cow::Owned(replaced.trim_end_matches('\\').to_ascii_lowercase())
+    } else {
+        Cow::Borrowed(trimmed)
+    }
 }
 
 impl FileSystem {
@@ -80,15 +92,15 @@ impl FileSystem {
 
     /// Creates a file with a tag; overwrites any existing node.
     pub fn create(&mut self, path: &str, size: u64, tag: &str) {
-        self.files.insert(
-            norm(path),
+        Arc::make_mut(&mut self.files).insert(
+            norm(path).into_owned(),
             FileNode { path: path.to_owned(), size, encrypted: false, tag: tag.to_owned() },
         );
     }
 
     /// Whether the path names an existing file.
     pub fn exists(&self, path: &str) -> bool {
-        self.files.contains_key(&norm(path))
+        self.files.contains_key(norm(path).as_ref())
     }
 
     /// Whether the path names an existing directory (a prefix of any file).
@@ -109,17 +121,15 @@ impl FileSystem {
 
     /// File metadata, if present.
     pub fn node(&self, path: &str) -> Option<&FileNode> {
-        self.files.get(&norm(path))
+        self.files.get(norm(path).as_ref())
     }
 
     /// Appends `bytes` to a file, creating it if needed. Returns new size.
     pub fn write(&mut self, path: &str, bytes: u64) -> u64 {
-        let node = self.files.entry(norm(path)).or_insert_with(|| FileNode {
-            path: path.to_owned(),
-            size: 0,
-            encrypted: false,
-            tag: String::new(),
-        });
+        let node =
+            Arc::make_mut(&mut self.files).entry(norm(path).into_owned()).or_insert_with(|| {
+                FileNode { path: path.to_owned(), size: 0, encrypted: false, tag: String::new() }
+            });
         node.size += bytes;
         node.size
     }
@@ -128,7 +138,10 @@ impl FileSystem {
     ///
     /// Returns `false` if the file does not exist.
     pub fn encrypt(&mut self, path: &str) -> bool {
-        match self.files.get_mut(&norm(path)) {
+        if !self.exists(path) {
+            return false;
+        }
+        match Arc::make_mut(&mut self.files).get_mut(norm(path).as_ref()) {
             Some(node) => {
                 node.encrypted = true;
                 true
@@ -139,15 +152,22 @@ impl FileSystem {
 
     /// Deletes a file; returns whether it existed.
     pub fn delete(&mut self, path: &str) -> bool {
-        self.files.remove(&norm(path)).is_some()
+        if !self.exists(path) {
+            return false;
+        }
+        Arc::make_mut(&mut self.files).remove(norm(path).as_ref()).is_some()
     }
 
     /// Renames a file; returns whether the source existed.
     pub fn rename(&mut self, from: &str, to: &str) -> bool {
-        match self.files.remove(&norm(from)) {
+        if !self.exists(from) {
+            return false;
+        }
+        let files = Arc::make_mut(&mut self.files);
+        match files.remove(norm(from).as_ref()) {
             Some(mut node) => {
                 node.path = to.to_owned();
-                self.files.insert(norm(to), node);
+                files.insert(norm(to).into_owned(), node);
                 true
             }
             None => false,

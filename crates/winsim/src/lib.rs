@@ -74,7 +74,10 @@ mod system;
 mod values;
 mod winapi;
 
-pub use api::{Api, ApiCall, ApiHook, CLEAN_PROLOGUE, HOOKED_PROLOGUE, PROLOGUE_LEN};
+pub use api::{
+    Api, ApiCall, ApiHook, HookChain, HookMap, HookTable, CLEAN_PROLOGUE, HOOKED_PROLOGUE,
+    PROLOGUE_LEN,
+};
 pub use clock::Clock;
 pub use error::{NtStatus, SimError};
 pub use events::{EventLog, SysEvent};
@@ -82,7 +85,7 @@ pub use fs::{DriveInfo, FileNode, FileSystem};
 pub use gui::{Window, WindowManager};
 pub use hardware::{Hardware, HvVendor, RdtscModel};
 pub use input::InputModel;
-pub use machine::{Machine, DEFAULT_BUDGET_MS, DEFAULT_MAX_PROCESSES};
+pub use machine::{Machine, MachineSnapshot, DEFAULT_BUDGET_MS, DEFAULT_MAX_PROCESSES};
 pub use network::{DnsCacheEntry, Network, NxPolicy};
 pub use process::{Peb, Pid, ProcState, Process, DEFAULT_MODULES};
 pub use program::{ProcessCtx, Program};

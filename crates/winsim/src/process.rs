@@ -12,7 +12,7 @@ use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
-use crate::api::{Api, ApiHook, CLEAN_PROLOGUE, PROLOGUE_LEN};
+use crate::api::{Api, CLEAN_PROLOGUE, PROLOGUE_LEN};
 
 /// Process identifier (re-exported as the crate-level `Pid`).
 pub type Pid = u32;
@@ -38,6 +38,12 @@ pub enum ProcState {
 }
 
 /// One process in the simulated machine.
+///
+/// Hook chains and patched prologues are `Arc`-shared: injecting the same
+/// DLL into a child shares the parent's table (two refcount bumps instead
+/// of ~40 allocations), and machine snapshots clone processes in O(1).
+/// Mutating installs copy-on-write via [`Arc::make_mut`].
+#[derive(Clone)]
 pub struct Process {
     /// Process id.
     pub pid: Pid,
@@ -58,9 +64,9 @@ pub struct Process {
     /// Whether this entry is an inert system process (no program body).
     pub is_system: bool,
     /// Per-API hook chains installed in this process (innermost last).
-    pub(crate) hooks: HashMap<Api, Vec<Arc<dyn ApiHook>>>,
+    pub(crate) hooks: crate::api::HookMap,
     /// Patched first bytes of hooked APIs, as visible to in-process reads.
-    pub(crate) prologues: HashMap<Api, [u8; PROLOGUE_LEN]>,
+    pub(crate) prologues: Arc<HashMap<Api, [u8; PROLOGUE_LEN]>>,
 }
 
 impl std::fmt::Debug for Process {
@@ -91,8 +97,8 @@ impl Process {
             state: ProcState::Running,
             exit_code: 0,
             is_system: false,
-            hooks: HashMap::new(),
-            prologues: HashMap::new(),
+            hooks: Arc::new(HashMap::new()),
+            prologues: Arc::new(HashMap::new()),
         }
     }
 

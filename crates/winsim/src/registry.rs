@@ -7,7 +7,9 @@
 //! addressed by full backslash-separated paths such as
 //! `HKEY_LOCAL_MACHINE\SOFTWARE\Oracle\VirtualBox Guest Additions`.
 
+use std::borrow::Cow;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
@@ -69,13 +71,24 @@ struct KeyNode {
 /// assert!(r.key_exists(r"hklm\software\ORACLE"));
 /// assert_eq!(r.subkey_count(r"HKLM\SOFTWARE"), 1);
 /// ```
+/// The key store sits behind an `Arc` so machine snapshots share one
+/// immutable tree: cloning a worn 60,000-key hive is one refcount bump, and
+/// the first mutation after a clone copies the map (copy-on-write via
+/// [`Arc::make_mut`]). Runs that never touch the registry never pay for it.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Registry {
-    keys: BTreeMap<String, KeyNode>,
+    keys: Arc<BTreeMap<String, KeyNode>>,
 }
 
-fn norm(path: &str) -> String {
-    path.trim_matches('\\').to_ascii_lowercase()
+/// Normalization is allocation-free when the path is already trimmed and
+/// lowercase (the hot dispatch path replays normalized paths constantly).
+fn norm(path: &str) -> Cow<'_, str> {
+    let trimmed = path.trim_matches('\\');
+    if trimmed.bytes().any(|b| b.is_ascii_uppercase()) {
+        Cow::Owned(trimmed.to_ascii_lowercase())
+    } else {
+        Cow::Borrowed(trimmed)
+    }
 }
 
 impl Registry {
@@ -87,22 +100,22 @@ impl Registry {
     /// Creates the key (and all missing ancestors). Idempotent.
     pub fn create_key(&mut self, path: &str) {
         let trimmed = path.trim_matches('\\');
+        let keys = Arc::make_mut(&mut self.keys);
         let mut so_far = String::new();
         for comp in trimmed.split('\\') {
             if !so_far.is_empty() {
                 so_far.push('\\');
             }
             so_far.push_str(comp);
-            let n = norm(&so_far);
-            self.keys
-                .entry(n)
+            let n = norm(&so_far).into_owned();
+            keys.entry(n)
                 .or_insert_with(|| KeyNode { display: so_far.clone(), values: BTreeMap::new() });
         }
     }
 
     /// Whether the key exists.
     pub fn key_exists(&self, path: &str) -> bool {
-        self.keys.contains_key(&norm(path))
+        self.keys.contains_key(norm(path).as_ref())
     }
 
     /// Opens a key, mirroring `RegOpenKeyEx` result codes.
@@ -117,29 +130,30 @@ impl Registry {
     /// Sets a value under `path` (creating the key if needed).
     pub fn set_value(&mut self, path: &str, name: &str, value: RegValue) {
         self.create_key(path);
-        let node = self.keys.get_mut(&norm(path)).expect("key just created");
+        let keys = Arc::make_mut(&mut self.keys);
+        let node = keys.get_mut(norm(path).as_ref()).expect("key just created");
         node.values.insert(name.to_ascii_lowercase(), (name.to_owned(), value));
     }
 
     /// Reads a value.
     pub fn value(&self, path: &str, name: &str) -> Option<&RegValue> {
         self.keys
-            .get(&norm(path))
+            .get(norm(path).as_ref())
             .and_then(|k| k.values.get(&name.to_ascii_lowercase()))
             .map(|(_, v)| v)
     }
 
     /// Deletes a value; returns whether it existed.
     pub fn delete_value(&mut self, path: &str, name: &str) -> bool {
-        self.keys
-            .get_mut(&norm(path))
+        Arc::make_mut(&mut self.keys)
+            .get_mut(norm(path).as_ref())
             .map(|k| k.values.remove(&name.to_ascii_lowercase()).is_some())
             .unwrap_or(false)
     }
 
     /// Deletes a key and its entire subtree; returns number of keys removed.
     pub fn delete_key(&mut self, path: &str) -> usize {
-        let n = norm(path);
+        let n = norm(path).into_owned();
         let prefix = format!("{n}\\");
         let doomed: Vec<String> = self
             .keys
@@ -147,8 +161,11 @@ impl Registry {
             .take_while(|(k, _)| **k == n || k.starts_with(&prefix))
             .map(|(k, _)| k.clone())
             .collect();
-        for k in &doomed {
-            self.keys.remove(k);
+        if !doomed.is_empty() {
+            let keys = Arc::make_mut(&mut self.keys);
+            for k in &doomed {
+                keys.remove(k);
+            }
         }
         doomed.len()
     }
@@ -187,13 +204,13 @@ impl Registry {
 
     /// Number of values stored directly under `path`.
     pub fn value_count(&self, path: &str) -> usize {
-        self.keys.get(&norm(path)).map_or(0, |k| k.values.len())
+        self.keys.get(norm(path).as_ref()).map_or(0, |k| k.values.len())
     }
 
     /// Value names (display casing) under `path`.
     pub fn value_names(&self, path: &str) -> Vec<String> {
         self.keys
-            .get(&norm(path))
+            .get(norm(path).as_ref())
             .map(|k| k.values.values().map(|(name, _)| name.clone()).collect())
             .unwrap_or_default()
     }
@@ -321,6 +338,26 @@ mod tests {
             big.set_value(r"HKLM\A", &format!("v{i}"), RegValue::Sz("x".repeat(50)));
         }
         assert!(big.quota_used_bytes() > small.quota_used_bytes());
+    }
+
+    #[test]
+    fn norm_borrows_already_normalized_paths() {
+        assert!(matches!(norm(r"hklm\software"), Cow::Borrowed(_)));
+        assert!(matches!(norm(r"HKLM\Software"), Cow::Owned(_)));
+        assert_eq!(norm(r"\HKLM\Software\"), norm(r"hklm\software"));
+    }
+
+    #[test]
+    fn clones_share_storage_until_mutation() {
+        let mut a = Registry::new();
+        a.create_key(r"HKLM\A");
+        let b = a.clone();
+        assert!(Arc::ptr_eq(&a.keys, &b.keys), "clone is a refcount bump");
+        let mut c = b.clone();
+        c.create_key(r"HKLM\B");
+        assert!(!Arc::ptr_eq(&b.keys, &c.keys), "first write copies");
+        assert!(!b.key_exists(r"HKLM\B"));
+        assert!(c.key_exists(r"HKLM\A"));
     }
 
     #[test]

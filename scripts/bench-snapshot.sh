@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Performance snapshot: runs every Criterion bench plus the figure4 sweep
+# measurement, and writes BENCH_sweep.json at the repo root.
+#
+# Under the offline criterion stub (.offline-stubs/) each Criterion bench
+# body executes once as a smoke test; real timing numbers come from the
+# bench_sweep binary, which measures with std::time directly. The JSON
+# format is documented in EXPERIMENTS.md.
+#
+# Usage:
+#   scripts/bench-snapshot.sh           # all benches + BENCH_sweep.json
+#   scripts/bench-snapshot.sh out.json  # custom output path
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+out="${1:-$repo/BENCH_sweep.json}"
+check="$repo/scripts/offline-check.sh"
+
+for bench in hook_overhead engine_throughput corpus_scale sweep_throughput; do
+    echo "== criterion bench: $bench"
+    "$check" bench -p scarecrow-bench --bench "$bench"
+done
+
+echo "== figure4 sweep measurement -> $out"
+"$check" run --release -p scarecrow-bench --bin bench_sweep -- "$out"
