@@ -1,0 +1,84 @@
+//! Flight-recorder overhead: the Figure 4 sweep slice with the recorder
+//! disabled (the default) vs enabled, plus the recorder's raw span
+//! primitives. The disabled path is the one every production sweep pays,
+//! so it must stay within noise of PR 2's numbers (BENCH_sweep.json's
+//! `flight.enabled_overhead_pct` tracks the full-corpus figure).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+
+use harness::{Cluster, RunLimits};
+use malware_sim::malgene_corpus;
+use scarecrow::{Config, Scarecrow};
+use tracer::{FlightConfig, FlightRecorder, SpanKind, Verdict};
+use winsim::env::bare_metal_sandbox;
+
+/// A slice spread across the corpus so every behaviour class is present.
+fn corpus_slice(n: usize) -> Vec<malware_sim::CorpusSample> {
+    let corpus = malgene_corpus(20200629);
+    corpus.iter().step_by((corpus.len() / n).max(1)).take(n).cloned().collect()
+}
+
+fn bench_sweep_flight_gate(c: &mut Criterion) {
+    let slice = corpus_slice(64);
+    let mut group = c.benchmark_group("figure4_sweep_64_flight");
+    group.sample_size(10);
+    for (label, cfg) in
+        [("disabled", FlightConfig::default()), ("enabled", FlightConfig::enabled())]
+    {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &cfg, |b, cfg| {
+            b.iter(|| {
+                Cluster::new(
+                    Arc::new(bare_metal_sandbox),
+                    Scarecrow::with_builtin_db(Config::default()),
+                )
+                .with_limits(RunLimits { budget_ms: 60_000, max_processes: 40 })
+                .with_flight(cfg.clone())
+                .run_corpus_parallel(&slice, 4)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_recorder_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flight_recorder");
+    group.bench_function("dispatch_span_pair", |b| {
+        let mut rec = FlightRecorder::new(FlightConfig::enabled());
+        rec.begin_sample("bench", 0, 0);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            rec.begin_dispatch("IsDebuggerPresent", 4, t);
+            rec.end_dispatch(t);
+        });
+    });
+    group.bench_function("child_span_pair", |b| {
+        let mut rec = FlightRecorder::new(FlightConfig::enabled());
+        rec.begin_sample("bench", 0, 0);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            rec.begin_child(SpanKind::Handler, "scarecrow-engine", 4, t);
+            rec.end_child(t)
+        });
+    });
+    group.bench_function("sample_cycle_and_snapshot", |b| {
+        let mut rec = FlightRecorder::new(FlightConfig::enabled());
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            rec.begin_sample("bench", t, t);
+            rec.begin_dispatch("GetTickCount", 4, t);
+            rec.end_dispatch(t);
+            rec.end_sample(t, &Verdict::Indeterminate);
+            let snap = rec.snapshot();
+            rec.reset();
+            snap.spans.len()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep_flight_gate, bench_recorder_primitives);
+criterion_main!(benches);

@@ -1,5 +1,6 @@
 //! Measures Figure 4 sweep throughput under both machine-reset strategies
-//! and writes `BENCH_sweep.json` (format documented in EXPERIMENTS.md).
+//! and with the flight recorder on vs off, writing `BENCH_sweep.json`
+//! (format documented in EXPERIMENTS.md).
 //!
 //! The JSON is hand-rendered so the numbers survive offline builds where
 //! `serde_json` is stubbed out.
@@ -9,33 +10,45 @@ use std::time::Instant;
 
 use harness::{CorpusReport, ResetStrategy, RunLimits};
 use scarecrow_bench::figure4;
+use tracer::{Counter, FlightConfig};
 
 struct SweepStats {
+    label: &'static str,
     strategy: &'static str,
+    flight: bool,
     wall_s: f64,
     samples_per_sec: f64,
     api_calls: u64,
     dispatch_ns_per_call: f64,
 }
 
-fn measure(reset: ResetStrategy, limits: RunLimits, workers: usize) -> (CorpusReport, SweepStats) {
+fn measure(
+    label: &'static str,
+    reset: ResetStrategy,
+    flight: FlightConfig,
+    limits: RunLimits,
+    workers: usize,
+) -> (CorpusReport, SweepStats) {
+    let flight_on = flight.enabled;
     let started = Instant::now();
-    let report = figure4::run_with_reset(limits, workers, reset);
+    let report = figure4::run_flight(limits, workers, reset, flight);
     let wall_s = started.elapsed().as_secs_f64();
     let n = report.results().len();
     let telemetry = report.telemetry().expect("telemetry on by default");
-    let api_calls = telemetry.counters.get("api_calls").copied().unwrap_or(0);
+    let api_calls = telemetry.counter(Counter::ApiCalls);
     // run-stage wall time (summed across workers) over every dispatched call
     let run_us: u64 = ["baseline_run", "protected_run"]
         .iter()
-        .filter_map(|s| telemetry.stages.get(*s))
+        .filter_map(|s| telemetry.wall.stages.get(*s))
         .map(|s| s.total_us)
         .sum();
     let stats = SweepStats {
+        label,
         strategy: match reset {
             ResetStrategy::Snapshot => "snapshot",
             ResetStrategy::FactoryRebuild => "factory_rebuild",
         },
+        flight: flight_on,
         wall_s,
         samples_per_sec: n as f64 / wall_s,
         api_calls,
@@ -54,7 +67,22 @@ fn peak_rss_kb() -> Option<u64> {
     line.split_whitespace().nth(1)?.parse().ok()
 }
 
-fn render(workers: usize, sweeps: &[SweepStats], speedup: f64, identical: bool) -> String {
+struct FlightStats {
+    overhead_pct: f64,
+    spans: usize,
+    dropped_spans: u64,
+    attributions: usize,
+    dispatch_p50_ns: u64,
+    dispatch_p99_ns: u64,
+}
+
+fn render(
+    workers: usize,
+    sweeps: &[SweepStats],
+    speedup: f64,
+    identical: bool,
+    flight: &FlightStats,
+) -> String {
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"experiment\": \"figure4_sweep\",");
     let _ = writeln!(out, "  \"corpus_samples\": 1054,");
@@ -63,7 +91,9 @@ fn render(workers: usize, sweeps: &[SweepStats], speedup: f64, identical: bool) 
     out.push_str("  \"sweeps\": [\n");
     for (i, s) in sweeps.iter().enumerate() {
         let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"label\": \"{}\",", s.label);
         let _ = writeln!(out, "      \"reset_strategy\": \"{}\",", s.strategy);
+        let _ = writeln!(out, "      \"flight_recorder\": {},", s.flight);
         let _ = writeln!(out, "      \"wall_seconds\": {:.3},", s.wall_s);
         let _ = writeln!(out, "      \"samples_per_sec\": {:.1},", s.samples_per_sec);
         let _ = writeln!(out, "      \"api_calls\": {},", s.api_calls);
@@ -73,6 +103,14 @@ fn render(workers: usize, sweeps: &[SweepStats], speedup: f64, identical: bool) 
     out.push_str("  ],\n");
     let _ = writeln!(out, "  \"snapshot_speedup\": {speedup:.2},");
     let _ = writeln!(out, "  \"reports_identical\": {identical},");
+    out.push_str("  \"flight\": {\n");
+    let _ = writeln!(out, "    \"enabled_overhead_pct\": {:.2},", flight.overhead_pct);
+    let _ = writeln!(out, "    \"spans\": {},", flight.spans);
+    let _ = writeln!(out, "    \"dropped_spans\": {},", flight.dropped_spans);
+    let _ = writeln!(out, "    \"attributions\": {},", flight.attributions);
+    let _ = writeln!(out, "    \"dispatch_p50_ns\": {},", flight.dispatch_p50_ns);
+    let _ = writeln!(out, "    \"dispatch_p99_ns\": {}", flight.dispatch_p99_ns);
+    out.push_str("  },\n");
     match peak_rss_kb() {
         Some(kb) => {
             let _ = writeln!(out, "  \"peak_rss_kb\": {kb}");
@@ -91,19 +129,50 @@ fn main() {
     let limits = RunLimits { budget_ms: 60_000, max_processes: 40 };
 
     eprintln!("figure4 sweep, {workers} workers, snapshot reset...");
-    let (snap_report, snap) = measure(ResetStrategy::Snapshot, limits, workers);
+    let (snap_report, snap) =
+        measure("snapshot", ResetStrategy::Snapshot, FlightConfig::default(), limits, workers);
     eprintln!("  {:.1} samples/sec ({:.1}s)", snap.samples_per_sec, snap.wall_s);
     eprintln!("figure4 sweep, {workers} workers, factory rebuild per run...");
-    let (rebuild_report, rebuild) = measure(ResetStrategy::FactoryRebuild, limits, workers);
+    let (rebuild_report, rebuild) = measure(
+        "factory_rebuild",
+        ResetStrategy::FactoryRebuild,
+        FlightConfig::default(),
+        limits,
+        workers,
+    );
     eprintln!("  {:.1} samples/sec ({:.1}s)", rebuild.samples_per_sec, rebuild.wall_s);
+    eprintln!("figure4 sweep, {workers} workers, snapshot reset + flight recorder...");
+    let (flight_report, flight_sweep) = measure(
+        "snapshot_flight",
+        ResetStrategy::Snapshot,
+        FlightConfig::enabled(),
+        limits,
+        workers,
+    );
+    eprintln!("  {:.1} samples/sec ({:.1}s)", flight_sweep.samples_per_sec, flight_sweep.wall_s);
 
-    let identical = snap_report.results() == rebuild_report.results();
-    assert!(identical, "reset strategies must produce identical reports");
+    let identical = snap_report.results() == rebuild_report.results()
+        && snap_report.results() == flight_report.results();
+    assert!(identical, "reset strategies and the flight recorder must not change reports");
     assert_eq!(snap_report.deactivated(), 944, "paper statistic drifted");
 
+    let fsnap = flight_report.flight().expect("flight sweep carries a snapshot");
+    let dispatch = fsnap.hists.get("api_dispatch_ns");
+    let flight_stats = FlightStats {
+        overhead_pct: (flight_sweep.wall_s - snap.wall_s) / snap.wall_s * 100.0,
+        spans: fsnap.spans.len(),
+        dropped_spans: fsnap.dropped_spans,
+        attributions: fsnap.attributions.len(),
+        dispatch_p50_ns: dispatch.map_or(0, |h| h.percentile(50.0)),
+        dispatch_p99_ns: dispatch.map_or(0, |h| h.percentile(99.0)),
+    };
+
     let speedup = snap.samples_per_sec / rebuild.samples_per_sec;
-    let json = render(workers, &[snap, rebuild], speedup, identical);
+    let json = render(workers, &[snap, rebuild, flight_sweep], speedup, identical, &flight_stats);
     std::fs::write(&out_path, &json).expect("write BENCH_sweep.json");
-    eprintln!("speedup {speedup:.2}x -> {out_path}");
+    eprintln!(
+        "speedup {speedup:.2}x, flight overhead {:+.2}% -> {out_path}",
+        flight_stats.overhead_pct
+    );
     println!("{json}");
 }

@@ -7,15 +7,25 @@
 //! scarecrowctl config-init <path>         # write a config file to edit
 //! scarecrowctl list-samples               # built-in reconstructed samples
 //! scarecrowctl run <sample> [config.json] # paired run + verdict
+//! scarecrowctl trace <sample>             # Chrome trace JSON (Perfetto)
+//! scarecrowctl explain <sample>           # deactivation attribution chain
+//! scarecrowctl top                        # corpus-wide flight aggregates
 //! scarecrowctl pafish <env>               # pafish on bare|vm|user, ±engine
 //! ```
+//!
+//! `<sample>` is a built-in label from `list-samples` (`case:kasidet`,
+//! `joe:f1a1288`, …) or a MalGene corpus md5 / unique md5 prefix.
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use harness::Cluster;
+use harness::{Cluster, ResetStrategy, RunLimits, RunPair};
 use malware_sim::samples::{cases, families, joe};
-use malware_sim::EvasiveSample;
+use malware_sim::{malgene_corpus, EvasiveSample};
 use scarecrow::{Config, Scarecrow};
+use scarecrow_bench::figure4;
+use tracer::flight::{attribution_json, chrome_trace_json};
+use tracer::{Counter, FlightConfig, FlightSnapshot};
 use winsim::env::{bare_metal_sandbox, end_user_machine, vm_sandbox};
 
 fn builtin_samples() -> Vec<(String, EvasiveSample)> {
@@ -31,6 +41,52 @@ fn builtin_samples() -> Vec<(String, EvasiveSample)> {
     out.push(("case:wannacry-initial".into(), cases::wannacry_initial()));
     out.push(("case:locky".into(), cases::locky()));
     out
+}
+
+/// Shared `<sample>` plumbing for `run`/`trace`/`explain`: built-in labels
+/// first, then the seeded MalGene corpus (the same corpus `figure4`
+/// sweeps) by md5 or unique md5 prefix.
+fn resolve_sample(name: &str) -> Result<(String, EvasiveSample), String> {
+    if let Some(hit) = builtin_samples().into_iter().find(|(n, _)| n == name) {
+        return Ok(hit);
+    }
+    if name.is_empty() {
+        return Err("empty sample name".to_owned());
+    }
+    let mut hits: Vec<_> = malgene_corpus(figure4::CORPUS_SEED)
+        .into_iter()
+        .filter(|s| s.md5.starts_with(name))
+        .collect();
+    match hits.len() {
+        0 => Err(format!(
+            "unknown sample {name:?}; see `scarecrowctl list-samples` or use a corpus md5"
+        )),
+        1 => {
+            let s = hits.remove(0);
+            Ok((s.md5, s.sample))
+        }
+        n => Err(format!("md5 prefix {name:?} is ambiguous ({n} corpus matches)")),
+    }
+}
+
+fn resolve_or_exit(name: &str) -> (String, EvasiveSample) {
+    match resolve_sample(name) {
+        Ok(hit) => hit,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// One flight-recorded paired run on a fresh bare-metal machine (the
+/// Figure 4 / Table I setting).
+fn flight_run(key: &str, sample: EvasiveSample, config: Config) -> (RunPair, FlightSnapshot) {
+    let cluster = Cluster::new(Arc::new(bare_metal_sandbox), Scarecrow::with_builtin_db(config))
+        .with_flight(FlightConfig::enabled());
+    let pair = cluster.run_pair_recorded(key, 0, sample.into_program());
+    let snap = cluster.flight_snapshot().expect("flight recorder enabled");
+    (pair, snap)
 }
 
 fn cmd_stats() {
@@ -86,10 +142,7 @@ fn cmd_run(name: &str, config_path: Option<&str>) {
         },
         None => Config::default(),
     };
-    let Some((_, sample)) = builtin_samples().into_iter().find(|(n, _)| n == name) else {
-        eprintln!("unknown sample {name:?}; see `scarecrowctl list-samples`");
-        std::process::exit(1);
-    };
+    let (_, sample) = resolve_or_exit(name);
     let cluster = Cluster::new(Arc::new(end_user_machine), Scarecrow::with_builtin_db(config));
     let pair = cluster.run_pair(sample.into_program());
     println!("baseline activities:");
@@ -108,11 +161,126 @@ fn cmd_run(name: &str, config_path: Option<&str>) {
     if let Some(t) = cluster.telemetry_snapshot() {
         println!(
             "telemetry: {} api calls, {} hook hits, {} deception triggers",
-            t.counters.get("api_calls").copied().unwrap_or(0),
-            t.counters.get("hook_hits").copied().unwrap_or(0),
-            t.counters.get("deception_triggers").copied().unwrap_or(0),
+            t.counter(Counter::ApiCalls),
+            t.counter(Counter::HookHits),
+            t.counter(Counter::DeceptionTriggers),
         );
         scarecrow_bench::json::maybe_write("scarecrowctl_run_telemetry", &t);
+    }
+}
+
+fn cmd_trace(name: &str) {
+    let (key, sample) = resolve_or_exit(name);
+    let (_, snap) = flight_run(&key, sample, Config::default());
+    let json = chrome_trace_json(&snap);
+    eprintln!(
+        "{} spans ({} dropped); load the JSON in Perfetto / chrome://tracing",
+        snap.spans.len(),
+        snap.dropped_spans
+    );
+    if let Some(path) = scarecrow_bench::json::maybe_write_raw("scarecrowctl_trace", &json) {
+        eprintln!("trace sidecar: {}", path.display());
+    }
+    println!("{json}");
+}
+
+fn cmd_explain(name: &str) {
+    let (key, sample) = resolve_or_exit(name);
+    let (pair, snap) = flight_run(&key, sample, Config::default());
+    let attr = snap.attribution_for(&key).expect("recorded run carries an attribution");
+    println!("sample:  {key}");
+    println!("verdict: {}", pair.verdict);
+    if attr.chain.is_empty() {
+        println!("no deception triggers — the engine never had to fabricate an answer");
+    } else {
+        println!(
+            "deception chain (probed artifact -> hooked API -> profile handler => fabricated answer):"
+        );
+        for (i, s) in attr.chain.iter().enumerate() {
+            println!(
+                "  {:>3}. t={}ms  {} [{}] -> {}() -> {} handler => {}",
+                i + 1,
+                s.time_ms,
+                s.artifact,
+                s.category,
+                s.api,
+                s.handler,
+                s.answer
+            );
+        }
+        let shown = attr.chain.len() as u64;
+        if attr.total_steps > shown {
+            println!(
+                "  ({} further triggers beyond the {shown}-step chain cap)",
+                attr.total_steps - shown
+            );
+        }
+    }
+    if let Some(path) =
+        scarecrow_bench::json::maybe_write_raw("scarecrowctl_attribution", &attribution_json(&snap))
+    {
+        eprintln!("attribution sidecar: {}", path.display());
+    }
+}
+
+fn top_counts(title: &str, counts: &BTreeMap<String, u64>) {
+    let mut rows: Vec<(&str, u64)> = counts.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+    println!("\n{title}:");
+    for (name, n) in rows.into_iter().take(10) {
+        println!("  {n:>8}  {name}");
+    }
+}
+
+fn cmd_top() {
+    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    eprintln!("sweeping the 1,054-sample corpus with the flight recorder on ({workers} workers)…");
+    let report = figure4::run_flight(
+        RunLimits { budget_ms: 60_000, max_processes: 40 },
+        workers,
+        ResetStrategy::default(),
+        FlightConfig::enabled(),
+    );
+    let snap = report.flight().expect("flight recorder enabled");
+    let mut apis: BTreeMap<String, u64> = BTreeMap::new();
+    let mut handlers: BTreeMap<String, u64> = BTreeMap::new();
+    let mut artifacts: BTreeMap<String, u64> = BTreeMap::new();
+    let mut recorded = 0u64;
+    let mut total = 0u64;
+    for a in &snap.attributions {
+        total += a.total_steps;
+        recorded += a.chain.len() as u64;
+        for s in &a.chain {
+            *apis.entry(s.api.clone()).or_default() += 1;
+            *handlers.entry(s.handler.clone()).or_default() += 1;
+            *artifacts.entry(s.artifact.clone()).or_default() += 1;
+        }
+    }
+    println!(
+        "{} samples, {} deactivated; {total} deception triggers ({recorded} in recorded chains)",
+        report.results().len(),
+        report.deactivated(),
+    );
+    top_counts("top hooked APIs in deception chains", &apis);
+    top_counts("top profile handlers", &handlers);
+    top_counts("top probed artifacts", &artifacts);
+    if !snap.hists.is_empty() {
+        println!("\nlatency histograms (merged across workers):");
+        for (name, h) in &snap.hists {
+            println!(
+                "  {name:<26} n={:<10} mean={:<9} p50={:<9} p99={} (ns)",
+                h.count(),
+                h.mean(),
+                h.percentile(50.0),
+                h.percentile(99.0)
+            );
+        }
+    }
+    if let Some(path) = scarecrow_bench::json::maybe_write_raw(
+        "scarecrowctl_top_attribution",
+        &attribution_json(snap),
+    ) {
+        eprintln!("attribution sidecar: {}", path.display());
     }
 }
 
@@ -143,7 +311,9 @@ fn usage() -> ! {
         "usage: scarecrowctl <command>\n\
          commands:\n  \
          stats | hooks | config-show | config-init <path> | list-samples |\n  \
-         run <sample> [config.json] | pafish <bare|vm|user>"
+         run <sample> [config.json] | trace <sample> | explain <sample> |\n  \
+         top | pafish <bare|vm|user>\n\
+         <sample>: a `list-samples` label or a MalGene corpus md5 (prefix ok)"
     );
     std::process::exit(2);
 }
@@ -163,6 +333,15 @@ fn main() {
             Some(name) => cmd_run(name, args.get(2).map(String::as_str)),
             None => usage(),
         },
+        Some("trace") => match args.get(1) {
+            Some(name) => cmd_trace(name),
+            None => usage(),
+        },
+        Some("explain") => match args.get(1) {
+            Some(name) => cmd_explain(name),
+            None => usage(),
+        },
+        Some("top") => cmd_top(),
         Some("pafish") => cmd_pafish(args.get(1).map(String::as_str).unwrap_or("user")),
         _ => usage(),
     }

@@ -1,9 +1,16 @@
 //! Regenerates Table I.
+use tracer::flight::{attribution_json, chrome_trace_json};
+use tracer::FlightConfig;
+
 fn main() {
-    let (rows, telemetry) = scarecrow_bench::table1::run_with_telemetry();
+    let (rows, telemetry, flight) = scarecrow_bench::table1::run_full(FlightConfig::enabled());
     println!("{}", scarecrow_bench::table1::render(&rows));
     scarecrow_bench::json::maybe_write("table1", &rows);
     if let Some(telemetry) = telemetry {
         scarecrow_bench::json::maybe_write("table1_telemetry", &telemetry);
+    }
+    if let Some(flight) = flight {
+        scarecrow_bench::json::maybe_write_raw("table1_trace", &chrome_trace_json(&flight));
+        scarecrow_bench::json::maybe_write_raw("table1_attribution", &attribution_json(&flight));
     }
 }

@@ -6,6 +6,7 @@ use std::sync::Arc;
 use harness::{Cluster, CorpusReport, ResetStrategy, RunLimits};
 use malware_sim::malgene_corpus;
 use scarecrow::{Config, ResourceDb, Scarecrow};
+use tracer::FlightConfig;
 use winsim::env::bare_metal_sandbox;
 
 /// Canonical corpus seed used by the reproduction.
@@ -24,11 +25,24 @@ pub fn run(limits: RunLimits, workers: usize) -> CorpusReport {
 /// produce identical reports; `FactoryRebuild` exists so the snapshot
 /// path's speedup can be measured (see `bench_sweep`).
 pub fn run_with_reset(limits: RunLimits, workers: usize, reset: ResetStrategy) -> CorpusReport {
+    run_flight(limits, workers, reset, FlightConfig::default())
+}
+
+/// [`run_with_reset`], with an explicit flight-recorder gate. The recorder
+/// only observes (it never charges the virtual clock), so verdicts and
+/// Figure 4 statistics are identical whether or not it is enabled.
+pub fn run_flight(
+    limits: RunLimits,
+    workers: usize,
+    reset: ResetStrategy,
+    flight: FlightConfig,
+) -> CorpusReport {
     let corpus = malgene_corpus(CORPUS_SEED);
     let engine = Scarecrow::builder(Config::default()).db(ResourceDb::builtin()).build();
     Cluster::new(Arc::new(bare_metal_sandbox), engine)
         .with_limits(limits)
         .with_reset_strategy(reset)
+        .with_flight(flight)
         .run_corpus_parallel(&corpus, workers)
 }
 

@@ -38,6 +38,27 @@ pub fn maybe_write<T: Serialize>(name: &str, value: &T) -> Option<PathBuf> {
     }
 }
 
+/// Writes an already-rendered JSON string to
+/// `<SCARECROW_RESULTS_DIR>/<name>.json` when the variable is set — for
+/// hand-rendered artifacts (Chrome traces, attribution sidecars) that must
+/// survive offline builds where `serde_json` is stubbed out.
+pub fn maybe_write_raw(name: &str, json: &str) -> Option<PathBuf> {
+    let dir = std::env::var_os(RESULTS_DIR_VAR)?;
+    let mut path = PathBuf::from(dir);
+    if let Err(e) = std::fs::create_dir_all(&path) {
+        eprintln!("warning: cannot create results dir {}: {e}", path.display());
+        return None;
+    }
+    path.push(format!("{name}.json"));
+    match std::fs::write(&path, json) {
+        Ok(()) => Some(path),
+        Err(e) => {
+            eprintln!("warning: cannot write {}: {e}", path.display());
+            None
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -50,20 +71,24 @@ mod tests {
 
     #[test]
     fn writes_when_configured() {
-        // the offline serde_json stub (.offline-stubs/) serializes every
-        // value as "{}"; a real-dependency build covers the content check
-        if serde_json::from_str::<u32>("0").is_err() {
-            eprintln!("skipping: offline serde_json stub active");
-            return;
-        }
         let dir = std::env::temp_dir().join("scarecrow-json-test");
         // NB: set_var is process-global; fine inside this single test
         std::env::set_var(RESULTS_DIR_VAR, &dir);
-        let path = maybe_write("demo", &Demo { x: 7 }).expect("written");
-        let content = std::fs::read_to_string(&path).unwrap();
-        assert!(content.contains("\"x\": 7"));
+        // raw writes bypass serde entirely, so they work under the stub
+        let raw = maybe_write_raw("demo_raw", "{\"ok\":true}\n").expect("raw written");
+        assert_eq!(std::fs::read_to_string(&raw).unwrap(), "{\"ok\":true}\n");
+        // the offline serde_json stub (.offline-stubs/) serializes every
+        // value as "{}"; a real-dependency build covers the content check
+        if serde_json::from_str::<u32>("0").is_ok() {
+            let path = maybe_write("demo", &Demo { x: 7 }).expect("written");
+            let content = std::fs::read_to_string(&path).unwrap();
+            assert!(content.contains("\"x\": 7"));
+        } else {
+            eprintln!("offline serde_json stub active; skipping content check");
+        }
         std::env::remove_var(RESULTS_DIR_VAR);
         assert!(maybe_write("demo", &Demo { x: 7 }).is_none());
+        assert!(maybe_write_raw("demo_raw", "{}").is_none());
         let _ = std::fs::remove_dir_all(dir);
     }
 }

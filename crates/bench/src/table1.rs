@@ -7,7 +7,7 @@ use malware_sim::samples::joe::{joe_samples, JoeSample};
 use malware_sim::Technique;
 use scarecrow::{Config, Scarecrow};
 use serde::{Deserialize, Serialize};
-use tracer::{TelemetrySnapshot, Verdict};
+use tracer::{FlightConfig, FlightSnapshot, TelemetrySnapshot, Verdict};
 use winsim::env::bare_metal_sandbox;
 
 /// One measured Table I row.
@@ -79,12 +79,25 @@ pub fn run() -> Vec<Table1Row> {
 /// Same as [`run`], also returning the sweep's merged telemetry snapshot
 /// (API call/hook/trigger counters plus per-stage wall-clock timings).
 pub fn run_with_telemetry() -> (Vec<Table1Row>, Option<TelemetrySnapshot>) {
+    let (rows, telemetry, _) = run_full(FlightConfig::default());
+    (rows, telemetry)
+}
+
+/// Same as [`run_with_telemetry`], with an explicit flight-recorder gate.
+/// When enabled, the returned snapshot carries each Joe sample's causal
+/// spans and attribution chain — the machine-readable Table I rows.
+pub fn run_full(
+    flight: FlightConfig,
+) -> (Vec<Table1Row>, Option<TelemetrySnapshot>, Option<FlightSnapshot>) {
     let cluster =
-        Cluster::new(Arc::new(bare_metal_sandbox), Scarecrow::with_builtin_db(Config::default()));
+        Cluster::new(Arc::new(bare_metal_sandbox), Scarecrow::with_builtin_db(Config::default()))
+            .with_flight(flight);
     let rows = joe_samples()
         .into_iter()
-        .map(|js| {
-            let pair = cluster.run_pair(js.sample.clone().into_program());
+        .enumerate()
+        .map(|(i, js)| {
+            let pair =
+                cluster.run_pair_recorded(js.md5, i as u64, js.sample.clone().into_program());
             Table1Row {
                 md5: js.md5.to_owned(),
                 paper_without: js.without_desc.to_owned(),
@@ -103,7 +116,7 @@ pub fn run_with_telemetry() -> (Vec<Table1Row>, Option<TelemetrySnapshot>) {
             }
         })
         .collect();
-    (rows, cluster.telemetry_snapshot())
+    (rows, cluster.telemetry_snapshot(), cluster.flight_snapshot())
 }
 
 /// Renders the measured table.
@@ -151,11 +164,12 @@ mod tests {
 
     #[test]
     fn reproduces_table1_verdicts_and_triggers() {
+        use tracer::Counter;
         let (rows, telemetry) = run_with_telemetry();
         let t = telemetry.expect("telemetry collected by default");
         assert!(!t.is_empty(), "13 paired runs must record activity");
-        assert_eq!(t.counters.get("samples_run"), None, "pairs are not corpus samples");
-        assert!(t.counters.get("api_calls").copied().unwrap_or(0) > 0);
+        assert_eq!(t.counter(Counter::SamplesRun), 0, "pairs are not corpus samples");
+        assert!(t.counter(Counter::ApiCalls) > 0);
         assert_eq!(rows.len(), 13);
         for r in &rows {
             assert_eq!(
@@ -169,6 +183,27 @@ mod tests {
         }
         let deactivated = rows.iter().filter(|r| r.measured_effective).count();
         assert_eq!(deactivated, 12, "12 of 13 deactivated");
+    }
+
+    #[test]
+    fn flight_attribution_covers_the_deception_triggers() {
+        let (rows, _, flight) = run_full(FlightConfig::enabled());
+        let snap = flight.expect("flight enabled");
+        assert_eq!(snap.attributions.len(), rows.len(), "one chain per Joe sample");
+        for a in &snap.attributions {
+            for step in &a.chain {
+                assert!(!step.api.is_empty());
+                assert!(!step.artifact.is_empty());
+                assert!(!step.handler.is_empty());
+                assert!(!step.answer.is_empty());
+            }
+        }
+        let debugger = snap.attribution_for("f1a1288").expect("debugger sample attributed");
+        assert!(debugger
+            .chain
+            .iter()
+            .any(|s| s.api == "IsDebuggerPresent" && s.handler == "Debugger"));
+        assert!(debugger.verdict.contains("deactivated"));
     }
 
     #[test]

@@ -11,7 +11,9 @@ use std::sync::Arc;
 use crossbeam::channel::Receiver;
 use hooklib::{DllImage, Injector};
 use serde::{Deserialize, Serialize};
-use tracer::{Telemetry, TelemetrySnapshot, Trace};
+use tracer::{
+    FlightConfig, FlightRecorder, FlightSnapshot, Telemetry, TelemetrySnapshot, Trace, Verdict,
+};
 use winsim::{Api, Machine, Pid, SimError};
 
 use crate::config::Config;
@@ -37,6 +39,10 @@ pub struct ProtectedRun {
     pub alarms: Vec<String>,
     /// The kernel trace of the run.
     pub trace: Trace,
+    /// Flight-recorder snapshot, when the engine was built with
+    /// [`ScarecrowBuilder::flight`] and no external recorder (e.g. a
+    /// harness-owned one) was already attached to the machine.
+    pub flight: Option<FlightSnapshot>,
 }
 
 impl ProtectedRun {
@@ -66,6 +72,7 @@ impl ProtectedRun {
 pub struct Scarecrow {
     state: Arc<EngineState>,
     rx: Receiver<Trigger>,
+    flight: FlightConfig,
 }
 
 impl std::fmt::Debug for Scarecrow {
@@ -92,6 +99,7 @@ pub struct ScarecrowBuilder {
     db: Option<Arc<ResourceDb>>,
     crawl: bool,
     telemetry: bool,
+    flight: FlightConfig,
 }
 
 impl ScarecrowBuilder {
@@ -112,6 +120,15 @@ impl ScarecrowBuilder {
     /// Enables or disables telemetry collection (enabled by default).
     pub fn telemetry(mut self, enabled: bool) -> Self {
         self.telemetry = enabled;
+        self
+    }
+
+    /// Configures the flight recorder (disabled by default). When enabled,
+    /// [`Scarecrow::run_protected`] attaches a recorder to machines that do
+    /// not already carry one and returns its snapshot in
+    /// [`ProtectedRun::flight`].
+    pub fn flight(mut self, flight: FlightConfig) -> Self {
+        self.flight = flight;
         self
     }
 
@@ -139,7 +156,7 @@ impl ScarecrowBuilder {
                 Profile::all().iter().map(|p| p.name()),
             ))));
         }
-        Scarecrow { state: Arc::new(state), rx }
+        Scarecrow { state: Arc::new(state), rx, flight: self.flight }
     }
 }
 
@@ -147,7 +164,13 @@ impl Scarecrow {
     /// Starts building an engine over a configuration. Defaults: the
     /// curated builtin database, no crawl, telemetry enabled.
     pub fn builder(config: Config) -> ScarecrowBuilder {
-        ScarecrowBuilder { config, db: None, crawl: false, telemetry: true }
+        ScarecrowBuilder {
+            config,
+            db: None,
+            crawl: false,
+            telemetry: true,
+            flight: FlightConfig::default(),
+        }
     }
 
     /// Builds the full engine: curated resources plus the public-sandbox
@@ -176,7 +199,13 @@ impl Scarecrow {
         Scarecrow::builder(self.config())
             .db(Arc::clone(&self.state.db))
             .telemetry(self.telemetry().is_some())
+            .flight(self.flight.clone())
             .build()
+    }
+
+    /// The flight-recorder configuration the engine was built with.
+    pub fn flight_config(&self) -> &FlightConfig {
+        &self.flight
     }
 
     /// The engine's telemetry recorder, when collection is enabled.
@@ -269,15 +298,37 @@ impl Scarecrow {
         if machine.telemetry().is_none() {
             machine.set_telemetry(self.state.telemetry().cloned());
         }
+        // A harness-owned recorder (already attached) takes precedence: the
+        // harness brackets samples itself with real corpus indices and
+        // verdicts, and takes the recorder back after the run.
+        let standalone_flight = self.flight.enabled && !machine.flight_active();
+        if standalone_flight {
+            machine.set_flight(Some(FlightRecorder::new(self.flight.clone())));
+            let now = machine.system().clock.now_ms();
+            if let Some(f) = machine.flight_mut() {
+                f.begin_sample(image, 0, now);
+            }
+        }
         let controller = machine.add_system_process(CONTROLLER_IMAGE);
         machine.set_trace_root(image);
         let pid = self.injector().launch_injected(machine, image, controller)?;
         machine.run();
+        let flight = if standalone_flight {
+            // No baseline run here, so deactivation cannot be judged.
+            let now = machine.system().clock.now_ms();
+            machine.flight_mut().map(|f| {
+                f.end_sample(now, &Verdict::Indeterminate);
+                f.snapshot()
+            })
+        } else {
+            None
+        };
         Ok(ProtectedRun {
             pid,
             triggers: ipc::drain(&self.rx),
             alarms: self.state.take_alarms(),
             trace: machine.take_trace(),
+            flight,
         })
     }
 }
@@ -366,6 +417,32 @@ mod tests {
         assert!(run.trace.self_spawn_count() > 10, "everlasting loop under deception");
         assert!(!m.system().fs.exists(r"C:\payload.bin"));
         assert!(!run.alarms.is_empty(), "controller raised the loop alarm");
+    }
+
+    #[test]
+    fn flight_enabled_run_yields_attribution_and_spans() {
+        let engine =
+            Scarecrow::builder(Config::default()).flight(tracer::FlightConfig::enabled()).build();
+        let mut m = Machine::new(System::new());
+        m.register_program(StdArc::new(Evader));
+        let run = engine.run_protected(&mut m, "evader.exe").unwrap();
+        let snap = run.flight.expect("builder-enabled flight must attach a recorder");
+        let attr = snap.attribution_for("evader.exe").expect("attribution chain recorded");
+        assert!(attr.chain.iter().any(|s| s.api == "IsDebuggerPresent"
+            && s.handler == "Debugger"
+            && s.answer == "TRUE"));
+        assert!(snap.spans.iter().any(|s| s.kind == tracer::SpanKind::Handler));
+        assert!(snap.spans.iter().any(|s| s.kind == tracer::SpanKind::ApiDispatch));
+    }
+
+    #[test]
+    fn flight_disabled_run_attaches_nothing() {
+        let engine = Scarecrow::with_builtin_db(Config::default());
+        let mut m = Machine::new(System::new());
+        m.register_program(StdArc::new(Evader));
+        let run = engine.run_protected(&mut m, "evader.exe").unwrap();
+        assert!(run.flight.is_none());
+        assert!(!m.flight_active());
     }
 
     #[test]

@@ -13,7 +13,7 @@ use std::sync::Arc;
 
 use crossbeam::channel::Sender;
 use parking_lot::{Mutex, RwLock};
-use tracer::{EventKind, Telemetry};
+use tracer::{EventKind, SpanKind, Telemetry};
 use winsim::env as wenv;
 use winsim::{Api, ApiCall, ApiHook, NtStatus, Pid, Value};
 
@@ -153,14 +153,35 @@ impl EngineState {
         std::mem::take(&mut *self.alarms.lock())
     }
 
-    fn report(&self, call: &mut ApiCall<'_>, category: Category, resource: &str, profile: Profile) {
+    /// Records one deception decision everywhere it is observed: the
+    /// profile tracker, the telemetry counters, the flight recorder's
+    /// attribution chain (probed artifact → hooked API → profile handler →
+    /// fabricated `answer`), and the controller's trigger channel.
+    fn report(
+        &self,
+        call: &mut ApiCall<'_>,
+        category: Category,
+        resource: &str,
+        profile: Profile,
+        answer: &str,
+    ) {
         self.profiles.triggered(profile);
         if let Some(t) = &self.telemetry {
             t.record_deception(call.api as usize, profile.name());
         }
+        let pid = call.pid;
+        let api = call.api;
+        call.machine().flight_decision(
+            pid,
+            api,
+            &category.to_string(),
+            resource,
+            profile.name(),
+            answer,
+        );
         let time_ms = call.machine().system().clock.now_ms();
         let _ = self.tx.send(Trigger {
-            api: call.api,
+            api,
             category,
             resource: resource.to_owned(),
             profile,
@@ -192,7 +213,11 @@ impl ApiHook for DeceptionHook {
     }
 
     fn invoke(&self, call: &mut ApiCall<'_>) -> Value {
-        handle(&self.state, call)
+        let pid = call.pid;
+        call.machine().flight_begin(SpanKind::Handler, self.label(), pid);
+        let value = handle(&self.state, call);
+        call.machine().flight_end();
+        value
     }
 }
 
@@ -253,7 +278,7 @@ fn handle(state: &EngineState, call: &mut ApiCall<'_>) -> Value {
             if cfg.software {
                 if let Some(p) = state.active(state.db.reg_key(call.args.str(0))) {
                     let path = call.args.str(0).to_owned();
-                    state.report(call, Category::Registry, &path, p);
+                    state.report(call, Category::Registry, &path, p, "STATUS_SUCCESS");
                     return Value::Status(NtStatus::Success);
                 }
             }
@@ -268,7 +293,7 @@ fn handle(state: &EngineState, call: &mut ApiCall<'_>) -> Value {
                     .map(|(d, p)| (d.to_owned(), p));
                 if let Some((data, p)) = hit {
                     let path = format!("{}\\{}", call.args.str(0), call.args.str(1));
-                    state.report(call, Category::Registry, &path, p);
+                    state.report(call, Category::Registry, &path, p, &data);
                     return Value::Str(data);
                 }
             }
@@ -278,14 +303,14 @@ fn handle(state: &EngineState, call: &mut ApiCall<'_>) -> Value {
             if cfg.weartear {
                 if let Some(n) = wear_reg_override(state, call.args.str(0), call.args.str(1)) {
                     let path = call.args.str(0).to_owned();
-                    state.report(call, Category::WearTear, &path, Profile::Generic);
+                    state.report(call, Category::WearTear, &path, Profile::Generic, &n.to_string());
                     return Value::U64(n);
                 }
             }
             if cfg.software {
                 if let Some(p) = state.active(state.db.reg_key(call.args.str(0))) {
                     let path = call.args.str(0).to_owned();
-                    state.report(call, Category::Registry, &path, p);
+                    state.report(call, Category::Registry, &path, p, "1");
                     return Value::U64(1);
                 }
             }
@@ -297,7 +322,11 @@ fn handle(state: &EngineState, call: &mut ApiCall<'_>) -> Value {
             if cfg.software {
                 if let Some(p) = state.active(state.db.file(call.args.str(0))) {
                     let path = call.args.str(0).to_owned();
-                    state.report(call, Category::File, &path, p);
+                    let answer = match call.api {
+                        Api::GetFileAttributes => "FILE_ATTRIBUTE_NORMAL",
+                        _ => "STATUS_SUCCESS",
+                    };
+                    state.report(call, Category::File, &path, p, answer);
                     return match call.api {
                         Api::GetFileAttributes => Value::U64(0x80),
                         _ => Value::Status(NtStatus::Success),
@@ -316,7 +345,7 @@ fn handle(state: &EngineState, call: &mut ApiCall<'_>) -> Value {
                 };
                 if let Some((category, p)) = hit {
                     let path = call.args.str(0).to_owned();
-                    state.report(call, category, &path, p);
+                    state.report(call, category, &path, p, "STATUS_SUCCESS");
                     return Value::Status(NtStatus::Success);
                 }
             }
@@ -334,12 +363,15 @@ fn handle(state: &EngineState, call: &mut ApiCall<'_>) -> Value {
                 None => (pattern.to_ascii_lowercase(), String::new()),
             };
             let mut hit = None;
+            let mut added = 0u64;
             for (path, profile) in state.db_files_matching(&prefix, &suffix) {
                 hit = Some(profile);
+                added += 1;
                 merged.push(Value::Str(path));
             }
             if let Some(p) = hit {
-                state.report(call, Category::File, &pattern, p);
+                let answer = format!("{added} deceptive entries appended");
+                state.report(call, Category::File, &pattern, p, &answer);
             }
             Value::List(merged)
         }
@@ -374,7 +406,7 @@ fn handle(state: &EngineState, call: &mut ApiCall<'_>) -> Value {
                 let image =
                     call.machine().process(target).map(|p| p.image.clone()).unwrap_or_default();
                 if let Some(p) = state.active(state.db.process(&image)) {
-                    state.report(call, Category::Process, &image, p);
+                    state.report(call, Category::Process, &image, p, "ACCESS_DENIED");
                     return Value::Bool(false); // ACCESS_DENIED
                 }
             }
@@ -384,7 +416,7 @@ fn handle(state: &EngineState, call: &mut ApiCall<'_>) -> Value {
             if cfg.software {
                 if let Some(p) = state.active(state.db.process(call.args.str(0))) {
                     let image = call.args.str(0).to_owned();
-                    state.report(call, Category::Process, &image, p);
+                    state.report(call, Category::Process, &image, p, "handle 0xFEED");
                     return Value::U64(0xFEED);
                 }
             }
@@ -404,6 +436,7 @@ fn handle(state: &EngineState, call: &mut ApiCall<'_>) -> Value {
                                     Category::Process,
                                     "toolhelp snapshot",
                                     *profile,
+                                    "deceptive processes appended",
                                 );
                                 reported = true;
                             }
@@ -429,7 +462,13 @@ fn handle(state: &EngineState, call: &mut ApiCall<'_>) -> Value {
                         merged.push(Value::Str(name.clone()));
                     }
                     if !reported {
-                        state.report(call, Category::Process, "process enumeration", *profile);
+                        state.report(
+                            call,
+                            Category::Process,
+                            "process enumeration",
+                            *profile,
+                            "deceptive processes appended",
+                        );
                         reported = true;
                     }
                 }
@@ -442,7 +481,7 @@ fn handle(state: &EngineState, call: &mut ApiCall<'_>) -> Value {
             if cfg.software {
                 if let Some(p) = state.active(state.db.dll(call.args.str(0))) {
                     let name = call.args.str(0).to_owned();
-                    state.report(call, Category::Dll, &name, p);
+                    state.report(call, Category::Dll, &name, p, "module handle 0x5CA2EC20");
                     return Value::U64(0x5CA2_EC20);
                 }
             }
@@ -459,7 +498,13 @@ fn handle(state: &EngineState, call: &mut ApiCall<'_>) -> Value {
                 if state.profiles.active(*profile) {
                     merged.push(Value::Str(name.clone()));
                     if !reported {
-                        state.report(call, Category::Dll, "module enumeration", *profile);
+                        state.report(
+                            call,
+                            Category::Dll,
+                            "module enumeration",
+                            *profile,
+                            "deceptive modules appended",
+                        );
                         reported = true;
                     }
                 }
@@ -470,7 +515,7 @@ fn handle(state: &EngineState, call: &mut ApiCall<'_>) -> Value {
             if cfg.software {
                 if let Some(p) = state.active(state.db.export(call.args.str(0), call.args.str(1))) {
                     let name = format!("{}!{}", call.args.str(0), call.args.str(1));
-                    state.report(call, Category::Dll, &name, p);
+                    state.report(call, Category::Dll, &name, p, "export address 0x5CA2EC24");
                     return Value::U64(0x5CA2_EC24);
                 }
             }
@@ -485,7 +530,7 @@ fn handle(state: &EngineState, call: &mut ApiCall<'_>) -> Value {
                     .or_else(|| state.active(state.db.window(call.args.str(1))));
                 if let Some(p) = hit {
                     let resource = format!("{}{}", call.args.str(0), call.args.str(1));
-                    state.report(call, Category::Window, &resource, p);
+                    state.report(call, Category::Window, &resource, p, "window found");
                     return Value::Bool(true);
                 }
             }
@@ -495,14 +540,14 @@ fn handle(state: &EngineState, call: &mut ApiCall<'_>) -> Value {
         // ---------- debugger presence ----------
         Api::IsDebuggerPresent | Api::CheckRemoteDebuggerPresent | Api::OutputDebugString => {
             if cfg.software {
-                state.report(call, Category::Debugger, call.api.name(), Profile::Debugger);
+                state.report(call, Category::Debugger, call.api.name(), Profile::Debugger, "TRUE");
                 return Value::Bool(true);
             }
             call.call_original()
         }
         Api::NtQueryInformationProcess => {
             if cfg.software && call.args.str(0) == "DebugPort" {
-                state.report(call, Category::Debugger, "DebugPort", Profile::Debugger);
+                state.report(call, Category::Debugger, "DebugPort", Profile::Debugger, "1");
                 return Value::U64(1);
             }
             call.call_original()
@@ -512,16 +557,25 @@ fn handle(state: &EngineState, call: &mut ApiCall<'_>) -> Value {
         Api::GetTickCount => {
             if cfg.hardware {
                 let now = call.machine().system().clock.now_ms();
-                state.report(call, Category::Hardware, "uptime", Profile::Generic);
+                let faked = cfg.fake_uptime_ms + now;
+                let answer = format!("{faked} ms uptime");
+                state.report(call, Category::Hardware, "uptime", Profile::Generic, &answer);
                 // preserve deltas so sleeps still measure correctly
-                Value::U64(cfg.fake_uptime_ms + now)
+                Value::U64(faked)
             } else {
                 call.call_original()
             }
         }
         Api::GetSystemInfo => {
             if cfg.hardware {
-                state.report(call, Category::Hardware, "processor count", Profile::Generic);
+                let answer = format!("{} cores", cfg.fake_cores);
+                state.report(
+                    call,
+                    Category::Hardware,
+                    "processor count",
+                    Profile::Generic,
+                    &answer,
+                );
                 Value::U64(cfg.fake_cores)
             } else {
                 call.call_original()
@@ -529,7 +583,14 @@ fn handle(state: &EngineState, call: &mut ApiCall<'_>) -> Value {
         }
         Api::GlobalMemoryStatusEx => {
             if cfg.hardware {
-                state.report(call, Category::Hardware, "physical memory", Profile::Generic);
+                let answer = format!("{} MB", cfg.fake_memory_mb);
+                state.report(
+                    call,
+                    Category::Hardware,
+                    "physical memory",
+                    Profile::Generic,
+                    &answer,
+                );
                 Value::U64(cfg.fake_memory_mb)
             } else {
                 call.call_original()
@@ -537,7 +598,8 @@ fn handle(state: &EngineState, call: &mut ApiCall<'_>) -> Value {
         }
         Api::GetDiskFreeSpaceEx => {
             if cfg.hardware {
-                state.report(call, Category::Hardware, "disk size", Profile::Generic);
+                let answer = format!("{} GB disk", cfg.fake_disk_gb);
+                state.report(call, Category::Hardware, "disk size", Profile::Generic, &answer);
                 Value::List(vec![
                     Value::U64(cfg.fake_disk_gb << 30),
                     Value::U64(cfg.fake_disk_free_gb << 30),
@@ -551,15 +613,22 @@ fn handle(state: &EngineState, call: &mut ApiCall<'_>) -> Value {
                 let pid = call.pid;
                 let image =
                     call.machine().process(pid).map(|p| p.image.clone()).unwrap_or_default();
-                state.report(call, Category::Identity, "sample path", Profile::Generic);
-                Value::Str(format!("{}\\{}.exe", cfg.fake_sample_dir, hash_name(&image)))
+                let faked = format!("{}\\{}.exe", cfg.fake_sample_dir, hash_name(&image));
+                state.report(call, Category::Identity, "sample path", Profile::Generic, &faked);
+                Value::Str(faked)
             } else {
                 call.call_original()
             }
         }
         Api::GetUserName => {
             if cfg.software {
-                state.report(call, Category::Identity, "user name", Profile::Generic);
+                state.report(
+                    call,
+                    Category::Identity,
+                    "user name",
+                    Profile::Generic,
+                    &cfg.fake_user,
+                );
                 Value::Str(cfg.fake_user.clone())
             } else {
                 call.call_original()
@@ -567,7 +636,13 @@ fn handle(state: &EngineState, call: &mut ApiCall<'_>) -> Value {
         }
         Api::GetComputerName => {
             if cfg.software {
-                state.report(call, Category::Identity, "computer name", Profile::Generic);
+                state.report(
+                    call,
+                    Category::Identity,
+                    "computer name",
+                    Profile::Generic,
+                    &cfg.fake_computer,
+                );
                 Value::Str(cfg.fake_computer.clone())
             } else {
                 call.call_original()
@@ -577,11 +652,13 @@ fn handle(state: &EngineState, call: &mut ApiCall<'_>) -> Value {
         // ---------- exception processing (Section II-B(g)) ----------
         Api::RaiseException => {
             if cfg.software {
+                let answer = format!("{} cycles", cfg.fake_exception_cycles);
                 state.report(
                     call,
                     Category::Debugger,
                     "exception dispatch timing",
                     Profile::Debugger,
+                    &answer,
                 );
                 Value::U64(cfg.fake_exception_cycles)
             } else {
@@ -595,9 +672,10 @@ fn handle(state: &EngineState, call: &mut ApiCall<'_>) -> Value {
             let original = call.call_original();
             let failed = matches!(&original, Value::Status(s) if !s.is_success());
             if cfg.network && failed {
-                state.report(call, Category::Network, &domain, Profile::Generic);
                 let a = cfg.sinkhole_addr;
-                return Value::Str(format!("{}.{}.{}.{}", a[0], a[1], a[2], a[3]));
+                let sinkhole = format!("{}.{}.{}.{}", a[0], a[1], a[2], a[3]);
+                state.report(call, Category::Network, &domain, Profile::Generic, &sinkhole);
+                return Value::Str(sinkhole);
             }
             original
         }
@@ -605,7 +683,7 @@ fn handle(state: &EngineState, call: &mut ApiCall<'_>) -> Value {
             let host = call.args.str(0).to_owned();
             let original = call.call_original();
             if cfg.network && original.as_u64() == Some(0) {
-                state.report(call, Category::Network, &host, Profile::Generic);
+                state.report(call, Category::Network, &host, Profile::Generic, "HTTP 200");
                 return Value::U64(200);
             }
             original
@@ -614,7 +692,8 @@ fn handle(state: &EngineState, call: &mut ApiCall<'_>) -> Value {
         // ---------- wear-and-tear extension ----------
         Api::DnsGetCacheDataTable => {
             if cfg.weartear {
-                state.report(call, Category::WearTear, "dns cache", Profile::Generic);
+                let answer = format!("{} cached domains", state.wear.dns_cache_entries.len());
+                state.report(call, Category::WearTear, "dns cache", Profile::Generic, &answer);
                 Value::List(
                     state.wear.dns_cache_entries.iter().map(|d| Value::Str(d.clone())).collect(),
                 )
@@ -625,7 +704,8 @@ fn handle(state: &EngineState, call: &mut ApiCall<'_>) -> Value {
         Api::EvtNext => {
             if cfg.weartear {
                 let limit = (call.args.u64(0) as usize).min(state.wear.sys_events);
-                state.report(call, Category::WearTear, "system events", Profile::Generic);
+                let answer = format!("{limit} fabricated events");
+                state.report(call, Category::WearTear, "system events", Profile::Generic, &answer);
                 let srcs = &state.wear.event_sources;
                 Value::List((0..limit).map(|i| Value::Str(srcs[i % srcs.len()].clone())).collect())
             } else {
@@ -636,7 +716,14 @@ fn handle(state: &EngineState, call: &mut ApiCall<'_>) -> Value {
             let class = call.args.str(0).to_owned();
             match class.as_str() {
                 "RegistryQuota" if cfg.weartear => {
-                    state.report(call, Category::WearTear, "registry quota", Profile::Generic);
+                    let answer = format!("{} bytes", state.wear.registry_quota_bytes);
+                    state.report(
+                        call,
+                        Category::WearTear,
+                        "registry quota",
+                        Profile::Generic,
+                        &answer,
+                    );
                     Value::U64(state.wear.registry_quota_bytes)
                 }
                 "ProcessInformation" if cfg.software => {
@@ -657,6 +744,7 @@ fn handle(state: &EngineState, call: &mut ApiCall<'_>) -> Value {
                                     Category::Process,
                                     "process enumeration",
                                     *profile,
+                                    "deceptive processes appended",
                                 );
                                 reported = true;
                             }
@@ -665,7 +753,13 @@ fn handle(state: &EngineState, call: &mut ApiCall<'_>) -> Value {
                     Value::List(merged)
                 }
                 "KernelDebugger" if cfg.software => {
-                    state.report(call, Category::Debugger, "kernel debugger", Profile::Debugger);
+                    state.report(
+                        call,
+                        Category::Debugger,
+                        "kernel debugger",
+                        Profile::Debugger,
+                        "TRUE",
+                    );
                     Value::Bool(true)
                 }
                 _ => call.call_original(),

@@ -5,8 +5,12 @@ use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use malware_sim::CorpusSample;
+use parking_lot::Mutex;
 use scarecrow::{ProtectedRun, Scarecrow};
-use tracer::{Counter, Stage, Telemetry, TelemetrySnapshot, Trace, Verdict};
+use tracer::{
+    Counter, FlightConfig, FlightHist, FlightRecorder, FlightSnapshot, Stage, Telemetry,
+    TelemetrySnapshot, Trace, Verdict,
+};
 use winsim::{Machine, MachineSnapshot, Program};
 
 use crate::report::{CorpusReport, SampleResult};
@@ -67,6 +71,13 @@ pub struct Cluster {
     /// Lazily captured preset snapshot (under [`ResetStrategy::Snapshot`]);
     /// shared with parallel workers so a sweep builds the preset once.
     snapshot: OnceLock<Arc<MachineSnapshot>>,
+    /// Flight-recorder gate; parallel workers get their own recorder each.
+    flight_cfg: FlightConfig,
+    /// The cluster's recorder, handed to the machine for the duration of
+    /// each protected run and taken back afterwards. Locked only at run
+    /// boundaries — the dispatch hot path reaches the recorder through the
+    /// machine's own `&mut` field, never through this mutex.
+    flight: Mutex<Option<FlightRecorder>>,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -78,12 +89,17 @@ impl std::fmt::Debug for Cluster {
 impl Cluster {
     /// Creates a cluster over a machine preset and a deception engine.
     pub fn new(factory: MachineFactory, engine: Scarecrow) -> Self {
+        let flight_cfg = engine.flight_config().clone();
+        let flight =
+            Mutex::new(flight_cfg.enabled.then(|| FlightRecorder::new(flight_cfg.clone())));
         Cluster {
             factory,
             engine,
             limits: RunLimits::default(),
             reset: ResetStrategy::default(),
             snapshot: OnceLock::new(),
+            flight_cfg,
+            flight,
         }
     }
 
@@ -91,6 +107,21 @@ impl Cluster {
     pub fn with_limits(mut self, limits: RunLimits) -> Self {
         self.limits = limits;
         self
+    }
+
+    /// Enables (or reconfigures) the flight recorder for this cluster,
+    /// independently of the engine's own gate.
+    pub fn with_flight(mut self, cfg: FlightConfig) -> Self {
+        self.flight = Mutex::new(cfg.enabled.then(|| FlightRecorder::new(cfg.clone())));
+        self.flight_cfg = cfg;
+        self
+    }
+
+    /// A snapshot of the cluster's flight recorder, when one is enabled.
+    /// (A parallel sweep's merged per-worker snapshot is attached to its
+    /// [`CorpusReport`] instead.)
+    pub fn flight_snapshot(&self) -> Option<FlightSnapshot> {
+        self.flight.lock().as_ref().map(FlightRecorder::snapshot)
     }
 
     /// Overrides the machine reset strategy (default:
@@ -137,6 +168,9 @@ impl Cluster {
         m.max_processes = self.limits.max_processes;
         m.set_telemetry(self.engine.telemetry().cloned());
         self.record_stage(Stage::MachineReset, started);
+        if let Some(f) = self.flight.lock().as_mut() {
+            f.record_hist(FlightHist::SnapshotRestore, started.elapsed().as_nanos() as u64);
+        }
         m
     }
 
@@ -175,18 +209,51 @@ impl Cluster {
         RunPair { baseline, protected, verdict }
     }
 
-    /// Runs the whole corpus sequentially. Telemetry (when enabled) is
-    /// reset first, so the report's snapshot covers exactly this sweep.
+    /// Runs the whole corpus sequentially. Telemetry and the flight
+    /// recorder (when enabled) are reset first, so the report's snapshots
+    /// cover exactly this sweep.
     pub fn run_corpus(&self, corpus: &[CorpusSample]) -> CorpusReport {
         if let Some(t) = self.engine.telemetry() {
             t.reset();
         }
-        let results = corpus.iter().map(|s| self.run_corpus_sample(s)).collect();
-        CorpusReport::new(results).with_telemetry(self.telemetry_snapshot())
+        if let Some(f) = self.flight.lock().as_mut() {
+            f.reset();
+        }
+        let results =
+            corpus.iter().enumerate().map(|(i, s)| self.run_corpus_sample(s, i as u64)).collect();
+        CorpusReport::new(results)
+            .with_telemetry(self.telemetry_snapshot())
+            .with_flight(self.flight_snapshot())
     }
 
-    fn run_corpus_sample(&self, s: &CorpusSample) -> SampleResult {
-        let pair = self.run_pair(s.sample.clone().into_program());
+    /// [`Cluster::run_pair`], with the cluster's flight recorder (when
+    /// enabled) riding on the machine for the protected run only — the
+    /// deception stack is what it instruments — bracketed by a root
+    /// `sample` span keyed on `name` and finalized with the verdict.
+    pub fn run_pair_recorded(&self, name: &str, index: u64, program: Arc<dyn Program>) -> RunPair {
+        let (_, baseline) = self.run_baseline(Arc::clone(&program));
+        let image = program.image_name().to_owned();
+        let mut m = self.fresh_machine();
+        m.register_program(program);
+        if let Some(mut f) = self.flight.lock().take() {
+            f.begin_sample(name, index, m.system().clock.now_ms());
+            m.set_flight(Some(f));
+        }
+        let started = Instant::now();
+        let protected = self.engine.run_protected(&mut m, &image).expect("registered image");
+        self.record_stage(Stage::ProtectedRun, started);
+        let started = Instant::now();
+        let verdict = Verdict::decide(&baseline, &protected.trace);
+        self.record_stage(Stage::Verdict, started);
+        if let Some(mut f) = m.take_flight() {
+            f.end_sample(m.system().clock.now_ms(), &verdict);
+            *self.flight.lock() = Some(f);
+        }
+        RunPair { baseline, protected, verdict }
+    }
+
+    fn run_corpus_sample(&self, s: &CorpusSample, index: u64) -> SampleResult {
+        let pair = self.run_pair_recorded(&s.md5, index, s.sample.clone().into_program());
         if let Some(t) = self.engine.telemetry() {
             t.incr(Counter::SamplesRun);
         }
@@ -210,12 +277,14 @@ impl Cluster {
         let slots: Vec<OnceLock<SampleResult>> =
             (0..corpus.len()).map(|_| OnceLock::new()).collect();
         let mut snapshots: Vec<TelemetrySnapshot> = Vec::new();
+        let mut flights: Vec<FlightSnapshot> = Vec::new();
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for _ in 0..workers {
                 let worker = Cluster::new(Arc::clone(&self.factory), self.engine.worker())
                     .with_limits(self.limits)
-                    .with_reset_strategy(self.reset);
+                    .with_reset_strategy(self.reset)
+                    .with_flight(self.flight_cfg.clone());
                 if self.reset == ResetStrategy::Snapshot {
                     // capture once on this thread; workers share the Arc
                     let _ = worker.snapshot.set(Arc::clone(self.preset_snapshot()));
@@ -226,19 +295,24 @@ impl Cluster {
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(s) = corpus.get(i) else { break };
-                        let done = slots[i].set(worker.run_corpus_sample(s));
+                        let done = slots[i].set(worker.run_corpus_sample(s, i as u64));
                         debug_assert!(done.is_ok(), "index {i} claimed twice");
                     }
-                    worker.telemetry_snapshot()
+                    (worker.telemetry_snapshot(), worker.flight_snapshot())
                 }));
             }
             for handle in handles {
-                snapshots.extend(handle.join().expect("worker panicked"));
+                let (telemetry, flight) = handle.join().expect("worker panicked");
+                snapshots.extend(telemetry);
+                flights.extend(flight);
             }
         });
         let telemetry = (!snapshots.is_empty()).then(|| TelemetrySnapshot::merged(snapshots));
+        // Merging re-sorts spans and attributions into corpus order, so a
+        // parallel sweep's flight data reads the same as a sequential one.
+        let flight = (!flights.is_empty()).then(|| FlightSnapshot::merged(flights));
         let results = slots.into_iter().map(|s| s.into_inner().expect("all samples ran")).collect();
-        CorpusReport::new(results).with_telemetry(telemetry)
+        CorpusReport::new(results).with_telemetry(telemetry).with_flight(flight)
     }
 }
 
@@ -351,7 +425,14 @@ mod tests {
         let par_t = par.telemetry().expect("telemetry on by default");
         assert!(!seq_t.is_empty());
         assert!(seq_t.counters_agree(par_t), "seq {seq_t:#?}\npar {par_t:#?}");
-        assert_eq!(seq_t.counters.get("samples_run"), Some(&(corpus.len() as u64)));
+        assert_eq!(seq_t.counter(Counter::SamplesRun), corpus.len() as u64);
+        // the split snapshot makes the deterministic section comparable in
+        // isolation: byte-identical once serialized (the offline serde_json
+        // stub renders both sides as "{}", which still satisfies this)
+        assert_eq!(seq_t.deterministic, par_t.deterministic);
+        let a = serde_json::to_string(&seq_t.deterministic).expect("serialize");
+        let b = serde_json::to_string(&par_t.deterministic).expect("serialize");
+        assert_eq!(a, b, "deterministic telemetry must serialize byte-identically");
         assert_eq!(seq, par, "report equality covers results + counters");
     }
 
@@ -377,10 +458,46 @@ mod tests {
         let ta = ra.telemetry().expect("telemetry on by default");
         let tb = rb.telemetry().expect("telemetry on by default");
         assert!(ta.counters_agree(tb), "snapshot {ta:#?}\nrebuild {tb:#?}");
+        assert_eq!(ta.deterministic, tb.deterministic);
+        assert_eq!(
+            serde_json::to_string(&ta.deterministic).expect("serialize"),
+            serde_json::to_string(&tb.deterministic).expect("serialize"),
+            "deterministic telemetry must serialize byte-identically across reset strategies"
+        );
         // and the work-stealing parallel sweep matches both
         let rp = snap.run_corpus_parallel(&corpus, 4);
         assert_eq!(ra.results(), rp.results());
         assert!(ta.counters_agree(rp.telemetry().expect("telemetry on by default")));
+    }
+
+    #[test]
+    fn flight_attribution_is_deterministic_across_parallel_sweeps() {
+        let corpus: Vec<_> = malgene_corpus(3).into_iter().take(12).collect();
+        let limits = RunLimits { budget_ms: 60_000, max_processes: 60 };
+        let c = cluster().with_limits(limits).with_flight(FlightConfig::enabled());
+        let seq = c.run_corpus(&corpus);
+        let par = c.run_corpus_parallel(&corpus, 4);
+        let fs = seq.flight().expect("flight enabled");
+        let fp = par.flight().expect("flight enabled");
+        assert_eq!(fs.attributions.len(), corpus.len(), "one chain per sample");
+        // merge re-sorts worker data into corpus order; virtual-clock
+        // timestamps make the chains byte-identical to the sequential sweep
+        assert_eq!(fs.attributions, fp.attributions);
+        assert!(!fs.spans.is_empty());
+        assert!(fs.hists.contains_key("api_dispatch_ns"));
+        assert!(fs.hists.contains_key("snapshot_restore_ns"));
+        // every sample keyed by md5 is findable (the explain path)
+        assert!(fs.attribution_for(&corpus[0].md5).is_some());
+    }
+
+    #[test]
+    fn flight_disabled_sweep_attaches_no_snapshot() {
+        let corpus: Vec<_> = malgene_corpus(3).into_iter().take(4).collect();
+        let limits = RunLimits { budget_ms: 60_000, max_processes: 60 };
+        let c = cluster().with_limits(limits);
+        let report = c.run_corpus(&corpus);
+        assert!(report.flight().is_none());
+        assert!(c.flight_snapshot().is_none());
     }
 
     #[test]

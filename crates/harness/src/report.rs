@@ -5,7 +5,7 @@ use std::collections::BTreeMap;
 
 use malware_sim::SampleClass;
 use serde::{Deserialize, Serialize};
-use tracer::{TelemetrySnapshot, Verdict};
+use tracer::{FlightSnapshot, TelemetrySnapshot, Verdict};
 
 /// One corpus sample's outcome.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -55,10 +55,13 @@ pub struct FamilyRow {
 pub struct CorpusReport {
     results: Vec<SampleResult>,
     telemetry: Option<TelemetrySnapshot>,
+    flight: Option<FlightSnapshot>,
 }
 
 impl PartialEq for CorpusReport {
     fn eq(&self, other: &Self) -> bool {
+        // Flight snapshots carry wall-clock histograms and are excluded
+        // for the same reason stage timings are.
         self.results == other.results
             && match (&self.telemetry, &other.telemetry) {
                 (Some(a), Some(b)) => a.counters_agree(b),
@@ -73,7 +76,7 @@ impl Eq for CorpusReport {}
 impl CorpusReport {
     /// Wraps per-sample results.
     pub fn new(results: Vec<SampleResult>) -> Self {
-        CorpusReport { results, telemetry: None }
+        CorpusReport { results, telemetry: None, flight: None }
     }
 
     /// Attaches the sweep's telemetry snapshot.
@@ -82,9 +85,20 @@ impl CorpusReport {
         self
     }
 
+    /// Attaches the sweep's flight-recorder snapshot.
+    pub fn with_flight(mut self, flight: Option<FlightSnapshot>) -> Self {
+        self.flight = flight;
+        self
+    }
+
     /// The sweep's telemetry snapshot, when collection was enabled.
     pub fn telemetry(&self) -> Option<&TelemetrySnapshot> {
         self.telemetry.as_ref()
+    }
+
+    /// The sweep's flight-recorder snapshot, when one was enabled.
+    pub fn flight(&self) -> Option<&FlightSnapshot> {
+        self.flight.as_ref()
     }
 
     /// All per-sample results.

@@ -114,7 +114,11 @@ impl ApiHook for LabeledHook {
         if let Some(t) = call.machine().telemetry() {
             t.incr(tracer::Counter::HookHits);
         }
-        self.inner.invoke(call)
+        let pid = call.pid;
+        call.machine().flight_begin(tracer::SpanKind::HookChain, &self.label, pid);
+        let value = self.inner.invoke(call);
+        call.machine().flight_end();
+        value
     }
 }
 
@@ -305,6 +309,8 @@ impl ApiHook for FollowChildrenHook {
         if let Some(t) = call.machine().telemetry() {
             t.incr(tracer::Counter::HookHits);
         }
+        let pid = call.pid;
+        call.machine().flight_begin(tracer::SpanKind::HookChain, FOLLOW_LABEL, pid);
         let caller_wants_suspended = call.args.bool(1);
         call.args.set(1, Value::Bool(true)); // force CREATE_SUSPENDED
         let result = call.call_original();
@@ -315,6 +321,7 @@ impl ApiHook for FollowChildrenHook {
                 call.machine().resume(child);
             }
         }
+        call.machine().flight_end();
         result
     }
 }
@@ -449,6 +456,25 @@ mod tests {
         let p = m.process(pid).unwrap();
         assert!(!p.module_loaded("scarecrow.dll"));
         assert!(!check_hook(&p.api_prologue(Api::IsDebuggerPresent)));
+    }
+
+    #[test]
+    fn hooks_emit_hook_chain_spans_when_flight_attached() {
+        use tracer::flight::{FlightConfig, FlightRecorder, SpanKind};
+        let mut m = Machine::new(System::new());
+        m.register_program(Arc::new(DebugCheckingPayload));
+        let pid = m.launch("payload.exe").unwrap();
+        Injector::new(test_dll()).inject(&mut m, pid);
+        m.set_flight(Some(FlightRecorder::new(FlightConfig::enabled())));
+        m.run();
+        let snap = m.take_flight().unwrap().snapshot();
+        let chain: Vec<_> = snap.spans.iter().filter(|s| s.kind == SpanKind::HookChain).collect();
+        assert!(chain.iter().any(|s| s.name == "scarecrow.dll"), "labeled hook span recorded");
+        let parent_id = chain[0].parent.expect("hook span nests under a dispatch");
+        let parent = snap.spans.iter().find(|s| s.id == parent_id).unwrap();
+        assert_eq!(parent.kind, SpanKind::ApiDispatch);
+        assert_eq!(parent.name, "IsDebuggerPresent");
+        assert!(snap.hists.get("hook_chain_ns").is_some_and(|h| h.count() > 0));
     }
 
     #[test]

@@ -10,9 +10,12 @@
 //! * an append-only [`Trace`] store with query helpers,
 //! * normalized *significant activity* extraction ([`ActivityKey`]),
 //! * trace diffing ([`TraceDiff`]),
-//! * the paper's deactivation criterion ([`Verdict::decide`]), and
+//! * the paper's deactivation criterion ([`Verdict::decide`]),
 //! * lock-free cross-layer run telemetry ([`Telemetry`],
-//!   [`TelemetrySnapshot`]).
+//!   [`TelemetrySnapshot`]),
+//! * log-bucketed mergeable latency histograms ([`LatencyHistogram`]), and
+//! * the causal flight recorder: spans, attribution chains, and Chrome
+//!   trace export ([`flight`]).
 //!
 //! The substrate (`winsim`) emits these events; nothing in this crate depends
 //! on the substrate, so traces can also be constructed by hand in tests.
@@ -36,6 +39,8 @@
 
 mod diff;
 mod event;
+pub mod flight;
+pub mod hist;
 mod stats;
 pub mod telemetry;
 mod trace;
@@ -43,7 +48,15 @@ mod verdict;
 
 pub use diff::TraceDiff;
 pub use event::{Event, EventKind, Pid, RegOp, Tid, VirtualTime};
+pub use flight::{
+    AttributionStep, FlightConfig, FlightHist, FlightRecorder, FlightSnapshot, SampleAttribution,
+    Span, SpanKind,
+};
+pub use hist::{LatencyHistogram, HISTOGRAM_BUCKETS};
 pub use stats::{aggregate, TraceStats};
-pub use telemetry::{Counter, Stage, StageStat, Telemetry, TelemetrySnapshot};
+pub use telemetry::{
+    Counter, DeterministicTelemetry, Stage, StageStat, Telemetry, TelemetrySnapshot,
+    WallClockTelemetry,
+};
 pub use trace::{ActivityKey, Trace};
 pub use verdict::{DeactivationReason, Verdict, SELF_SPAWN_LOOP_THRESHOLD};

@@ -24,6 +24,8 @@ use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 
 use serde::{Deserialize, Serialize};
 
+use crate::hist::{AtomicHistogram, LatencyHistogram};
+
 /// Fixed cross-layer event counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Counter {
@@ -155,6 +157,7 @@ pub struct Telemetry {
     counters: SlotTable,
     stage_us: SlotTable,
     stage_count: SlotTable,
+    stage_hist: Vec<AtomicHistogram>,
 }
 
 impl std::fmt::Debug for Telemetry {
@@ -186,6 +189,7 @@ impl Telemetry {
             counters: SlotTable::new(counter_names),
             stage_us: SlotTable::new(stage_names.clone()),
             stage_count: SlotTable::new(stage_names),
+            stage_hist: Stage::ALL.iter().map(|_| AtomicHistogram::new()).collect(),
         }
     }
 
@@ -217,11 +221,13 @@ impl Telemetry {
         self.counters.add(Counter::DeceptionTriggers as usize, 1);
     }
 
-    /// Records one timed harness stage.
+    /// Records one timed harness stage: total, count, and a log-bucketed
+    /// histogram of the per-recording distribution.
     pub fn record_stage(&self, stage: Stage, elapsed: std::time::Duration) {
         let us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
         self.stage_us.add(stage as usize, us);
         self.stage_count.add(stage as usize, 1);
+        self.stage_hist[stage as usize].record(us);
     }
 
     /// Zeroes every counter (between experiments on a reused engine).
@@ -233,6 +239,9 @@ impl Telemetry {
         self.counters.reset();
         self.stage_us.reset();
         self.stage_count.reset();
+        for h in &self.stage_hist {
+            h.reset();
+        }
     }
 
     /// Freezes the current counts into a serializable snapshot.
@@ -243,39 +252,41 @@ impl Telemetry {
                 let count = self.stage_count.slots[*s as usize].load(Relaxed);
                 (count != 0).then(|| {
                     let total_us = self.stage_us.slots[*s as usize].load(Relaxed);
-                    (s.name().to_owned(), StageStat { total_us, count })
+                    let hist_us = self.stage_hist[*s as usize].snapshot();
+                    (s.name().to_owned(), StageStat { total_us, count, hist_us })
                 })
             })
             .collect();
         TelemetrySnapshot {
-            counters: self.counters.snapshot(),
-            api_calls: self.api_calls.snapshot(),
-            api_cost_ms: self.api_cost_ms.snapshot(),
-            deception_hits: self.deception_hits.snapshot(),
-            profile_hits: self.profile_hits.snapshot(),
-            stages,
+            deterministic: DeterministicTelemetry {
+                counters: self.counters.snapshot(),
+                api_calls: self.api_calls.snapshot(),
+                api_cost_ms: self.api_cost_ms.snapshot(),
+                deception_hits: self.deception_hits.snapshot(),
+                profile_hits: self.profile_hits.snapshot(),
+            },
+            wall: WallClockTelemetry { stages },
         }
     }
 }
 
 /// Accumulated wall-clock time of one harness stage.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StageStat {
     /// Total wall-clock microseconds across all recordings.
     pub total_us: u64,
     /// Number of recordings.
     pub count: u64,
+    /// Log-bucketed distribution of the per-recording microseconds.
+    pub hist_us: LatencyHistogram,
 }
 
-/// A frozen, serializable view of a [`Telemetry`] recorder.
-///
-/// All maps are sorted and omit zero entries, so two snapshots of the same
-/// logical work compare equal regardless of slot-table layout. Everything
-/// except [`stages`](Self::stages) is deterministic for a deterministic
-/// workload; stage timings are wall-clock and vary run to run, which is why
-/// [`counters_agree`](Self::counters_agree) exists.
+/// The virtual-clock side of a [`TelemetrySnapshot`]: counts and
+/// virtual-time costs that are byte-for-byte reproducible for a
+/// deterministic workload, regardless of scheduling, worker count, or
+/// reset strategy.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
-pub struct TelemetrySnapshot {
+pub struct DeterministicTelemetry {
     /// Fixed cross-layer counters (see [`Counter`]).
     pub counters: BTreeMap<String, u64>,
     /// Dispatched calls per API.
@@ -286,11 +297,9 @@ pub struct TelemetrySnapshot {
     pub deception_hits: BTreeMap<String, u64>,
     /// Deception-engine triggers per impersonated profile.
     pub profile_hits: BTreeMap<String, u64>,
-    /// Wall-clock time per harness stage.
-    pub stages: BTreeMap<String, StageStat>,
 }
 
-impl TelemetrySnapshot {
+impl DeterministicTelemetry {
     /// Whether nothing was recorded.
     pub fn is_empty(&self) -> bool {
         self.counters.is_empty()
@@ -298,11 +307,10 @@ impl TelemetrySnapshot {
             && self.api_cost_ms.is_empty()
             && self.deception_hits.is_empty()
             && self.profile_hits.is_empty()
-            && self.stages.is_empty()
     }
 
-    /// Sums another snapshot into this one (parallel-worker aggregation).
-    pub fn merge(&mut self, other: &TelemetrySnapshot) {
+    /// Sums another deterministic section into this one.
+    pub fn merge(&mut self, other: &DeterministicTelemetry) {
         fn merge_map(into: &mut BTreeMap<String, u64>, from: &BTreeMap<String, u64>) {
             for (k, v) in from {
                 *into.entry(k.clone()).or_insert(0) += v;
@@ -313,11 +321,61 @@ impl TelemetrySnapshot {
         merge_map(&mut self.api_cost_ms, &other.api_cost_ms);
         merge_map(&mut self.deception_hits, &other.deception_hits);
         merge_map(&mut self.profile_hits, &other.profile_hits);
+    }
+}
+
+/// The wall-clock side of a [`TelemetrySnapshot`]: real-time stage
+/// measurements that vary run to run and are excluded from every
+/// determinism comparison.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WallClockTelemetry {
+    /// Wall-clock time per harness stage.
+    pub stages: BTreeMap<String, StageStat>,
+}
+
+impl WallClockTelemetry {
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// Sums another wall-clock section into this one.
+    pub fn merge(&mut self, other: &WallClockTelemetry) {
         for (k, v) in &other.stages {
             let s = self.stages.entry(k.clone()).or_default();
             s.total_us += v.total_us;
             s.count += v.count;
+            s.hist_us.merge(&v.hist_us);
         }
+    }
+}
+
+/// A frozen, serializable view of a [`Telemetry`] recorder.
+///
+/// All maps are sorted and omit zero entries, so two snapshots of the same
+/// logical work compare equal regardless of slot-table layout. The
+/// [`deterministic`](Self::deterministic) section is reproducible run to
+/// run for a deterministic workload; the [`wall`](Self::wall) section is
+/// real-clock and varies, which is why the two are split and why
+/// [`counters_agree`](Self::counters_agree) compares only the former.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TelemetrySnapshot {
+    /// Virtual-clock counts: reproducible, compared by determinism tests.
+    pub deterministic: DeterministicTelemetry,
+    /// Wall-clock stage timings: diagnostics only.
+    pub wall: WallClockTelemetry,
+}
+
+impl TelemetrySnapshot {
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.deterministic.is_empty() && self.wall.is_empty()
+    }
+
+    /// Sums another snapshot into this one (parallel-worker aggregation).
+    pub fn merge(&mut self, other: &TelemetrySnapshot) {
+        self.deterministic.merge(&other.deterministic);
+        self.wall.merge(&other.wall);
     }
 
     /// Merges many worker snapshots into one.
@@ -329,14 +387,15 @@ impl TelemetrySnapshot {
         out
     }
 
-    /// Whether every deterministic count matches `other` — everything but
-    /// the wall-clock [`stages`](Self::stages) map.
+    /// Whether the deterministic sections match — everything but the
+    /// wall-clock [`wall`](Self::wall) side.
     pub fn counters_agree(&self, other: &TelemetrySnapshot) -> bool {
-        self.counters == other.counters
-            && self.api_calls == other.api_calls
-            && self.api_cost_ms == other.api_cost_ms
-            && self.deception_hits == other.deception_hits
-            && self.profile_hits == other.profile_hits
+        self.deterministic == other.deterministic
+    }
+
+    /// Convenience accessor for one fixed cross-layer counter.
+    pub fn counter(&self, counter: Counter) -> u64 {
+        self.deterministic.counters.get(counter.name()).copied().unwrap_or(0)
     }
 }
 
@@ -356,11 +415,11 @@ mod tests {
         t.record_api(0, 1);
         t.record_api(2, 3);
         let s = t.snapshot();
-        assert_eq!(s.api_calls.get("OpenA"), Some(&2));
-        assert_eq!(s.api_calls.get("OpenC"), Some(&1));
-        assert_eq!(s.api_calls.get("OpenB"), None, "zero slots are omitted");
-        assert_eq!(s.api_cost_ms.get("OpenC"), Some(&3));
-        assert_eq!(s.counters.get("api_calls"), Some(&3));
+        assert_eq!(s.deterministic.api_calls.get("OpenA"), Some(&2));
+        assert_eq!(s.deterministic.api_calls.get("OpenC"), Some(&1));
+        assert_eq!(s.deterministic.api_calls.get("OpenB"), None, "zero slots are omitted");
+        assert_eq!(s.deterministic.api_cost_ms.get("OpenC"), Some(&3));
+        assert_eq!(s.counter(Counter::ApiCalls), 3);
     }
 
     #[test]
@@ -368,9 +427,9 @@ mod tests {
         let t = recorder();
         t.record_api(99, 1);
         let s = t.snapshot();
-        assert!(s.api_calls.is_empty());
+        assert!(s.deterministic.api_calls.is_empty());
         // the total still counts the dispatch
-        assert_eq!(s.counters.get("api_calls"), Some(&1));
+        assert_eq!(s.counter(Counter::ApiCalls), 1);
     }
 
     #[test]
@@ -380,19 +439,23 @@ mod tests {
         t.record_deception(1, "VMware");
         t.record_deception(1, "not-a-profile");
         let s = t.snapshot();
-        assert_eq!(s.deception_hits.get("OpenB"), Some(&3));
-        assert_eq!(s.profile_hits.get("VMware"), Some(&2));
-        assert_eq!(s.counters.get("deception_triggers"), Some(&3));
+        assert_eq!(s.deterministic.deception_hits.get("OpenB"), Some(&3));
+        assert_eq!(s.deterministic.profile_hits.get("VMware"), Some(&2));
+        assert_eq!(s.counter(Counter::DeceptionTriggers), 3);
     }
 
     #[test]
-    fn stages_record_totals_and_counts() {
+    fn stages_record_totals_counts_and_distribution() {
         let t = recorder();
         t.record_stage(Stage::BaselineRun, Duration::from_micros(150));
         t.record_stage(Stage::BaselineRun, Duration::from_micros(50));
         let s = t.snapshot();
-        let stat = s.stages.get("baseline_run").unwrap();
-        assert_eq!(*stat, StageStat { total_us: 200, count: 2 });
+        let stat = s.wall.stages.get("baseline_run").unwrap();
+        assert_eq!(stat.total_us, 200);
+        assert_eq!(stat.count, 2);
+        assert_eq!(stat.hist_us.count(), 2);
+        assert_eq!(stat.hist_us.sum(), 200);
+        assert_eq!(s.wall.stages.get("verdict"), None, "unrecorded stages are omitted");
     }
 
     #[test]

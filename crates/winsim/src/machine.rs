@@ -3,6 +3,7 @@
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
 
+use tracer::flight::{FlightHist, FlightRecorder, SpanKind};
 use tracer::{Counter, Event, EventKind, RegOp, Telemetry, Trace};
 
 use crate::api::{Api, ApiCall, ApiHook, HookTable, HOOKED_PROLOGUE};
@@ -73,6 +74,10 @@ pub struct Machine {
     /// Telemetry recorder, when attached; `None` costs one branch per
     /// dispatch.
     telemetry: Option<Arc<Telemetry>>,
+    /// Flight recorder for causal spans, when attached; `None` costs one
+    /// branch per dispatch. Owned (not shared): `call_api` is `&mut self`,
+    /// so recording needs no locks.
+    flight: Option<FlightRecorder>,
 }
 
 impl std::fmt::Debug for Machine {
@@ -106,6 +111,7 @@ impl Machine {
             budget_ms: DEFAULT_BUDGET_MS,
             max_processes: DEFAULT_MAX_PROCESSES,
             telemetry: None,
+            flight: None,
         };
         let peb = Peb { being_debugged: false, number_of_processors: cores };
         let mut system_proc = Process::new(4, 0, "System", "System", peb);
@@ -134,6 +140,80 @@ impl Machine {
     /// The attached telemetry recorder, if any.
     pub fn telemetry(&self) -> Option<&Arc<Telemetry>> {
         self.telemetry.as_ref()
+    }
+
+    /// Attaches a flight recorder. Every subsequent API dispatch opens an
+    /// `api_dispatch` span (subject to the recorder's sampling) and feeds
+    /// the dispatch-cost histogram.
+    pub fn set_flight(&mut self, flight: Option<FlightRecorder>) {
+        self.flight = flight;
+    }
+
+    /// Detaches and returns the flight recorder (the harness takes it back
+    /// between runs to merge worker streams).
+    pub fn take_flight(&mut self) -> Option<FlightRecorder> {
+        self.flight.take()
+    }
+
+    /// Mutable access to the attached flight recorder, if any. Hook and
+    /// engine layers emit their spans through this.
+    pub fn flight_mut(&mut self) -> Option<&mut FlightRecorder> {
+        self.flight.as_mut()
+    }
+
+    /// Whether a flight recorder is attached.
+    pub fn flight_active(&self) -> bool {
+        self.flight.is_some()
+    }
+
+    /// Opens a child span (hook chain / handler) at the current virtual
+    /// time. One branch when no recorder is attached.
+    #[inline]
+    pub fn flight_begin(&mut self, kind: SpanKind, name: &str, pid: Pid) {
+        if let Some(f) = self.flight.as_mut() {
+            f.begin_child(kind, name, u64::from(pid), self.sys.clock.now_ms());
+        }
+    }
+
+    /// Closes the innermost child span at the current virtual time.
+    #[inline]
+    pub fn flight_end(&mut self) {
+        if let Some(f) = self.flight.as_mut() {
+            f.end_child(self.sys.clock.now_ms());
+        }
+    }
+
+    /// Records a deception decision (probed artifact → hooked API →
+    /// handler → fabricated answer) into the attached flight recorder.
+    pub fn flight_decision(
+        &mut self,
+        pid: Pid,
+        api: Api,
+        category: &str,
+        artifact: &str,
+        handler: &str,
+        answer: &str,
+    ) {
+        if let Some(f) = self.flight.as_mut() {
+            f.record_decision(
+                self.sys.clock.now_ms(),
+                u64::from(pid),
+                api.name(),
+                category,
+                artifact,
+                handler,
+                answer,
+            );
+        }
+    }
+
+    /// Records a raw wall-clock observation into one of the recorder's
+    /// histograms.
+    #[inline]
+    pub fn flight_hist(&mut self, hist: FlightHist, value_ns: u64) {
+        if let Some(f) = self.flight.as_mut() {
+            f.record_hist(hist, value_ns);
+        }
     }
 
     /// The pid of `explorer.exe` (the normal double-click parent).
@@ -385,6 +465,19 @@ impl Machine {
         if let Some(t) = &self.telemetry {
             t.record_api(api as usize, self.sys.clock.api_call_cost_ms);
         }
+        if let Some(f) = self.flight.as_mut() {
+            f.begin_dispatch(api.name(), u64::from(pid), self.sys.clock.now_ms());
+        }
+        let value = self.dispatch_api(pid, api, args);
+        if let Some(f) = self.flight.as_mut() {
+            f.end_dispatch(self.sys.clock.now_ms());
+        }
+        value
+    }
+
+    /// The dispatch body of [`Machine::call_api`], split out so the flight
+    /// recorder brackets every exit path.
+    fn dispatch_api(&mut self, pid: Pid, api: Api, args: Args) -> Value {
         if self.sys.clock.now_ms() >= self.budget_ms {
             // the paper's harness kills the sample when its one-minute
             // analysis window closes; packers that stall past the window
@@ -929,12 +1022,13 @@ pub struct MachineSnapshot {
 }
 
 impl MachineSnapshot {
-    /// Captures the machine's current state. Any attached telemetry
-    /// recorder is dropped from the template; runs instantiated from the
-    /// snapshot attach their own.
+    /// Captures the machine's current state. Any attached telemetry or
+    /// flight recorder is dropped from the template; runs instantiated
+    /// from the snapshot attach their own.
     pub fn capture(machine: &Machine) -> Self {
         let mut template = machine.clone();
         template.telemetry = None;
+        template.flight = None;
         MachineSnapshot { template }
     }
 
@@ -1219,6 +1313,50 @@ mod tests {
         assert_eq!(ok.as_status(), NtStatus::Success);
         let bad = m.call_api(pid, Api::CreateFile, args![r"\\.\HGFS", "open"]);
         assert_eq!(bad.as_status(), NtStatus::ObjectNameNotFound);
+    }
+
+    #[test]
+    fn flight_recorder_captures_dispatch_spans_and_histograms() {
+        use tracer::flight::FlightConfig;
+        let mut m = machine();
+        m.register_program(Arc::new(Touch));
+        let pid = m.launch("touch.exe").unwrap();
+        m.install_hook(
+            pid,
+            Api::IsDebuggerPresent,
+            Arc::new(|c: &mut ApiCall<'_>| c.call_original()),
+        );
+        m.set_flight(Some(FlightRecorder::new(FlightConfig::enabled())));
+        m.call_api(pid, Api::IsDebuggerPresent, Args::none());
+        m.call_api(pid, Api::GetTickCount, Args::none());
+        let rec = m.take_flight().unwrap();
+        assert!(!m.flight_active());
+        let snap = rec.snapshot();
+        let dispatches: Vec<_> =
+            snap.spans.iter().filter(|s| s.kind == SpanKind::ApiDispatch).collect();
+        assert_eq!(dispatches.len(), 2);
+        assert_eq!(dispatches[0].name, "IsDebuggerPresent");
+        assert_eq!(dispatches[0].start_ms, 1, "virtual clock charged before the span opens");
+        assert_eq!(dispatches[1].name, "GetTickCount");
+        assert_eq!(dispatches[1].start_ms, 2);
+        assert_eq!(dispatches[0].pid, u64::from(pid));
+        assert!(snap.hists.get("api_dispatch_ns").is_some_and(|h| h.count() == 2));
+        assert!(
+            snap.hists.get("trampoline_passthrough_ns").is_some_and(|h| h.count() == 1),
+            "the hooked call fell through the trampoline once"
+        );
+    }
+
+    #[test]
+    fn snapshot_capture_drops_recorders() {
+        use tracer::flight::FlightConfig;
+        let mut m = machine();
+        m.set_flight(Some(FlightRecorder::new(FlightConfig::enabled())));
+        let snap = MachineSnapshot::capture(&m);
+        let mut fresh = snap.instantiate();
+        assert!(!fresh.flight_active());
+        assert!(fresh.take_flight().is_none());
+        assert!(fresh.telemetry().is_none());
     }
 
     #[test]

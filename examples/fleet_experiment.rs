@@ -45,11 +45,12 @@ fn main() {
     }
 
     if let Some(t) = report.telemetry() {
+        use tracer::Counter;
         println!(
             "\ntelemetry: {} api calls, {} hook hits, {} deception triggers across {} workers",
-            t.counters.get("api_calls").copied().unwrap_or(0),
-            t.counters.get("hook_hits").copied().unwrap_or(0),
-            t.counters.get("deception_triggers").copied().unwrap_or(0),
+            t.counter(Counter::ApiCalls),
+            t.counter(Counter::HookHits),
+            t.counter(Counter::DeceptionTriggers),
             workers,
         );
     }

@@ -36,6 +36,13 @@ require_sidecar() {
     echo "ok: $1"
 }
 
+require_key() {
+    if ! grep -q "$2" "$1"; then
+        echo "FAIL: sidecar $1 is missing required key $2" >&2
+        exit 1
+    fi
+}
+
 if [ "${1:-}" = "--check" ]; then
     echo "== cargo fmt --check =="
     run_cargo fmt --all --check
@@ -48,8 +55,21 @@ if [ "${1:-}" = "--check" ]; then
     echo "== verifying JSON + telemetry sidecars (into $check_dir) =="
     SCARECROW_RESULTS_DIR="$check_dir" ./target/release/table1 >/dev/null
     SCARECROW_RESULTS_DIR="$check_dir" ./target/release/figure4 >/dev/null
-    for f in table1 table1_telemetry figure4 figure4_telemetry; do
+    SCARECROW_RESULTS_DIR="$check_dir" ./target/release/scarecrowctl explain case:kasidet >/dev/null
+    SCARECROW_RESULTS_DIR="$check_dir" ./target/release/scarecrowctl trace case:kasidet >/dev/null
+    for f in table1 table1_telemetry figure4 figure4_telemetry \
+             table1_trace table1_attribution figure4_trace figure4_attribution \
+             scarecrowctl_trace scarecrowctl_attribution; do
         require_sidecar "$check_dir/$f.json"
+    done
+    # flight-recorder sidecar schemas: Chrome traces must carry the
+    # traceEvents array, attribution files the v1 schema tag + chains
+    for f in table1_trace figure4_trace scarecrowctl_trace; do
+        require_key "$check_dir/$f.json" '"traceEvents"'
+    done
+    for f in table1_attribution figure4_attribution scarecrowctl_attribution; do
+        require_key "$check_dir/$f.json" '"schema":"scarecrow.attribution.v1"'
+        require_key "$check_dir/$f.json" '"chain"'
     done
     echo "check passed"
     exit 0

@@ -16,7 +16,7 @@ repo="$(cd "$(dirname "$0")/.." && pwd)"
 out="${1:-$repo/BENCH_sweep.json}"
 check="$repo/scripts/offline-check.sh"
 
-for bench in hook_overhead engine_throughput corpus_scale sweep_throughput; do
+for bench in hook_overhead engine_throughput corpus_scale sweep_throughput flight_overhead; do
     echo "== criterion bench: $bench"
     "$check" bench -p scarecrow-bench --bench "$bench"
 done

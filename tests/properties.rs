@@ -338,6 +338,81 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------------
+// latency-histogram invariants (flight recorder)
+// ---------------------------------------------------------------------------
+
+fn hist_from(values: &[u64]) -> tracer::LatencyHistogram {
+    let mut h = tracer::LatencyHistogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #[test]
+    fn hist_bucket_index_is_monotone_and_in_range(a in any::<u64>(), b in any::<u64>()) {
+        use tracer::{LatencyHistogram, HISTOGRAM_BUCKETS};
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(LatencyHistogram::bucket_index(lo) <= LatencyHistogram::bucket_index(hi));
+        prop_assert!(LatencyHistogram::bucket_index(hi) < HISTOGRAM_BUCKETS);
+        // every value sits at or above the floor of its own bucket
+        prop_assert!(LatencyHistogram::bucket_floor(LatencyHistogram::bucket_index(a)) <= a);
+    }
+
+    #[test]
+    fn hist_percentile_is_monotone_in_p(values in proptest::collection::vec(any::<u64>(), 0..60)) {
+        let h = hist_from(&values);
+        prop_assert_eq!(h.count(), values.len() as u64);
+        let mut last = h.percentile(0.0);
+        for p in [10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
+            let q = h.percentile(p);
+            prop_assert!(q >= last, "percentile({p}) = {q} < {last}");
+            last = q;
+        }
+        if let Some(&max) = values.iter().max() {
+            prop_assert!(last <= max, "p100 floor {last} above max value {max}");
+        }
+    }
+
+    #[test]
+    fn hist_merge_is_commutative(
+        xs in proptest::collection::vec(any::<u64>(), 0..40),
+        ys in proptest::collection::vec(any::<u64>(), 0..40),
+    ) {
+        let (a, b) = (hist_from(&xs), hist_from(&ys));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba);
+        prop_assert_eq!(ab.count(), a.count() + b.count());
+    }
+
+    #[test]
+    fn hist_merge_is_associative_and_lossless(
+        xs in proptest::collection::vec(any::<u64>(), 0..30),
+        ys in proptest::collection::vec(any::<u64>(), 0..30),
+        zs in proptest::collection::vec(any::<u64>(), 0..30),
+    ) {
+        // (a + b) + c
+        let mut left = hist_from(&xs);
+        left.merge(&hist_from(&ys));
+        left.merge(&hist_from(&zs));
+        // a + (b + c)
+        let mut bc = hist_from(&ys);
+        bc.merge(&hist_from(&zs));
+        let mut right = hist_from(&xs);
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right);
+        // merging equals having recorded everything into one histogram,
+        // so parallel-worker aggregation is lossless
+        let all: Vec<u64> = xs.iter().chain(&ys).chain(&zs).copied().collect();
+        prop_assert_eq!(left, hist_from(&all));
+    }
+}
+
+// ---------------------------------------------------------------------------
 // hook-chain invariants
 // ---------------------------------------------------------------------------
 
