@@ -48,7 +48,7 @@ fn is_generic(input: &TokenStream) -> bool {
     false
 }
 
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     if is_generic(&input) {
         return TokenStream::new();
@@ -59,7 +59,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     }
 }
 
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     if is_generic(&input) {
         return TokenStream::new();

@@ -3,6 +3,7 @@
 //! ```text
 //! scarecrowctl stats                      # resource-database inventory
 //! scarecrowctl hooks                      # the hooked API list
+//! scarecrowctl rules [config.json] [--json] # the deception-rule registry
 //! scarecrowctl config-show                # default configuration as JSON
 //! scarecrowctl config-init <path>         # write a config file to edit
 //! scarecrowctl list-samples               # built-in reconstructed samples
@@ -22,6 +23,7 @@ use std::sync::Arc;
 use harness::{Cluster, ResetStrategy, RunLimits, RunPair};
 use malware_sim::samples::{cases, families, joe};
 use malware_sim::{malgene_corpus, EvasiveSample};
+use scarecrow::rules::{all_rules, DeceptionRule, RuleSet};
 use scarecrow::{Config, Scarecrow};
 use scarecrow_bench::figure4;
 use tracer::flight::{attribution_json, chrome_trace_json};
@@ -107,6 +109,85 @@ fn cmd_hooks() {
     let engine = Scarecrow::with_builtin_db(Config::default());
     for api in engine.hooked_apis() {
         println!("{api}");
+    }
+}
+
+/// The rule's status under a configuration, for the `rules` listing.
+fn rule_status(rule: &dyn DeceptionRule, config: &Config) -> &'static str {
+    if !config.rule_enabled(rule.name()) {
+        "disabled" // unregistered via Config::rule_overrides
+    } else if rule.gate(config) {
+        "active"
+    } else {
+        "gated-off" // registered (hooks stay patched) but never answers
+    }
+}
+
+/// Hand-rendered `scarecrow.rules.v1` JSON (the serde_json stub cannot
+/// serialize, so sidecars are built by string like the attribution export).
+fn rules_json(config: &Config, set: &RuleSet) -> String {
+    let mut out = String::from("{\n  \"schema\": \"scarecrow.rules.v1\",\n  \"rules\": [\n");
+    let rules = all_rules();
+    for (i, rule) in rules.iter().enumerate() {
+        let apis: Vec<String> = rule
+            .apis()
+            .iter()
+            .map(|(api, tier)| format!("{{\"api\": \"{api}\", \"tier\": \"{}\"}}", tier.label()))
+            .collect();
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"category\": \"{}\", \"gate\": \"{}\", \"status\": \"{}\", \"apis\": [{}]}}{}\n",
+            rule.name(),
+            rule.category(),
+            rule.gate_flag(),
+            rule_status(*rule, config),
+            apis.join(", "),
+            if i + 1 < rules.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n  \"hooked_apis\": [");
+    let hooked: Vec<String> = set.hooked_apis().iter().map(|a| format!("\"{a}\"")).collect();
+    out.push_str(&hooked.join(", "));
+    out.push_str("]\n}\n");
+    out
+}
+
+fn cmd_rules(config_path: Option<&str>, json: bool) {
+    let config = match config_path {
+        Some(path) => match Config::from_json_file(path) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => Config::default(),
+    };
+    let set = RuleSet::build(&config);
+    let rendered = rules_json(&config, &set);
+    if json {
+        println!("{rendered}");
+    } else {
+        println!(
+            "{} rules registered ({} under this config), {} APIs hooked:",
+            all_rules().len(),
+            set.rules().len(),
+            set.hooked_apis().len()
+        );
+        for rule in all_rules() {
+            let apis: Vec<String> =
+                rule.apis().iter().map(|(api, tier)| format!("{api}[{}]", tier.label())).collect();
+            println!(
+                "  {:<19} {:<10} gate={:<18} {:<9} {}",
+                rule.name(),
+                rule.category().to_string(),
+                rule.gate_flag(),
+                rule_status(*rule, &config),
+                apis.join(" ")
+            );
+        }
+    }
+    if let Some(path) = scarecrow_bench::json::maybe_write_raw("scarecrowctl_rules", &rendered) {
+        eprintln!("rules sidecar: {}", path.display());
     }
 }
 
@@ -310,9 +391,9 @@ fn usage() -> ! {
     eprintln!(
         "usage: scarecrowctl <command>\n\
          commands:\n  \
-         stats | hooks | config-show | config-init <path> | list-samples |\n  \
-         run <sample> [config.json] | trace <sample> | explain <sample> |\n  \
-         top | pafish <bare|vm|user>\n\
+         stats | hooks | rules [config.json] [--json] | config-show |\n  \
+         config-init <path> | list-samples | run <sample> [config.json] |\n  \
+         trace <sample> | explain <sample> | top | pafish <bare|vm|user>\n\
          <sample>: a `list-samples` label or a MalGene corpus md5 (prefix ok)"
     );
     std::process::exit(2);
@@ -323,6 +404,11 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("stats") => cmd_stats(),
         Some("hooks") => cmd_hooks(),
+        Some("rules") => {
+            let json = args.iter().any(|a| a == "--json");
+            let config = args.iter().skip(1).find(|a| *a != "--json").map(String::as_str);
+            cmd_rules(config, json);
+        }
         Some("config-show") => cmd_config_show(),
         Some("config-init") => match args.get(1) {
             Some(path) => cmd_config_init(path),

@@ -7,6 +7,8 @@
 //! exist both for user tailoring and for the ablation benches in
 //! `scarecrow-bench`.
 
+use std::collections::BTreeMap;
+
 use serde::{Deserialize, Serialize};
 
 /// Tunable deception engine configuration.
@@ -37,6 +39,16 @@ pub struct Config {
     /// profile's resource is fingerprinted, all other profiles go silent to
     /// avoid cross-VM contradictions.
     pub exclusive_profiles: bool,
+    /// Per-rule enable/disable overrides, keyed by
+    /// [`DeceptionRule::name`](crate::rules::DeceptionRule::name). A rule
+    /// absent from the map follows its category gate (the flat paper bools
+    /// above); mapping a rule to `false` unregisters it entirely — its
+    /// exclusive APIs drop out of the hook set. Finer-grained than the
+    /// category switches: `{"network": false}` turns off the DNS sinkhole
+    /// while the rest of the `network`-gated deceptions stay available to
+    /// future rules.
+    #[serde(default)]
+    pub rule_overrides: BTreeMap<String, bool>,
 
     /// Faked total disk size in GiB.
     pub fake_disk_gb: u64,
@@ -73,6 +85,7 @@ impl Default for Config {
             active_mitigation: false,
             spawn_alarm_threshold: 20,
             exclusive_profiles: false,
+            rule_overrides: BTreeMap::new(),
             fake_disk_gb: 50,
             fake_disk_free_gb: 21,
             fake_memory_mb: 1023,
@@ -133,6 +146,13 @@ impl Config {
     /// Deceptive wear-and-tear values of Table III.
     pub fn weartear_fakes() -> WearTearFakes {
         WearTearFakes::default()
+    }
+
+    /// Whether the named deception rule is registered under this
+    /// configuration. Rules default to enabled; [`Config::rule_overrides`]
+    /// can switch individual rules off (or explicitly back on).
+    pub fn rule_enabled(&self, name: &str) -> bool {
+        self.rule_overrides.get(name).copied().unwrap_or(true)
     }
 }
 
@@ -272,10 +292,40 @@ mod tests {
         let mut c = Config::default();
         c.fake_disk_gb = 120;
         c.exclusive_profiles = true;
+        c.rule_overrides.insert("network".to_owned(), false);
+        c.rule_overrides.insert("gui".to_owned(), true);
         c.save_json_file(&path).unwrap();
         let loaded = Config::from_json_file(&path).unwrap();
         assert_eq!(loaded, c);
+        assert!(!loaded.rule_enabled("network"));
+        assert!(loaded.rule_enabled("gui"));
+        assert!(loaded.rule_enabled("registry"), "unlisted rules stay enabled");
         let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn rule_overrides_are_optional_in_config_files() {
+        // the offline serde_json stub (.offline-stubs/) cannot parse JSON;
+        // a real-dependency build covers the default
+        if serde_json::from_str::<u32>("0").is_err() {
+            eprintln!("skipping: offline serde_json stub active");
+            return;
+        }
+        // pre-registry config files lack the field: it must default empty
+        let json = serde_json::to_string_pretty(&Config::default()).unwrap();
+        let legacy: String =
+            json.lines().filter(|l| !l.contains("rule_overrides")).collect::<Vec<_>>().join("\n");
+        let parsed: Config = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(parsed, Config::default());
+    }
+
+    #[test]
+    fn rule_enabled_defaults_to_true() {
+        let mut c = Config::default();
+        assert!(c.rule_enabled("wear-and-tear"));
+        c.rule_overrides.insert("wear-and-tear".to_owned(), false);
+        assert!(!c.rule_enabled("wear-and-tear"));
+        assert!(c.rule_enabled("registry"));
     }
 
     #[test]

@@ -18,10 +18,11 @@ use winsim::{Api, Machine, Pid, SimError};
 
 use crate::config::Config;
 use crate::crawler;
-use crate::engine::{DeceptionHook, EngineState, CORE_APIS, EXTRA_APIS, WEAR_APIS};
+use crate::engine::{DeceptionHook, EngineState};
 use crate::ipc::{self, Trigger};
 use crate::profiles::Profile;
 use crate::resources::{ResourceDb, ResourceStats};
+use crate::rules::RuleSet;
 
 /// The module name the injected DLL appears under.
 pub const DLL_NAME: &str = "scarecrow.dll";
@@ -225,12 +226,19 @@ impl Scarecrow {
 
     /// Dynamically reconfigures the engine — the Section III-B IPC path:
     /// every already injected DLL observes the change on its next
-    /// intercepted call, without re-injection.
+    /// intercepted call, without re-injection. The rule set is rebuilt
+    /// from the new configuration in the same swap.
     pub fn update_config<F: FnOnce(&mut Config)>(&self, f: F) {
-        let mut slot = self.state.config.write();
-        let mut cfg = slot.as_ref().clone();
+        let mut cfg = self.state.config.read().as_ref().clone();
         f(&mut cfg);
-        *slot = Arc::new(cfg);
+        self.state.swap_config(cfg);
+    }
+
+    /// The rule set derived from the current configuration — what
+    /// `scarecrowctl rules` lists and what [`Scarecrow::hooked_apis`] and
+    /// [`Scarecrow::dll_image`] are driven by.
+    pub fn rule_set(&self) -> Arc<RuleSet> {
+        self.state.rule_set()
     }
 
     /// Database cardinalities.
@@ -238,20 +246,13 @@ impl Scarecrow {
         self.state.db.stats()
     }
 
-    /// Every API the engine hooks: the 29 core APIs, the exception
-    /// dispatcher and Toolhelp32 extensions, plus (when the wear-and-tear
-    /// extension is enabled) the 7 APIs of Table III.
+    /// Every API the engine hooks, derived from the rule registry: the 29
+    /// core APIs, the exception dispatcher and Toolhelp32 extensions, plus
+    /// (when the wear-and-tear extension is enabled) the 7 APIs of
+    /// Table III — minus any APIs only declared by rules disabled through
+    /// [`Config::rule_overrides`].
     pub fn hooked_apis(&self) -> Vec<Api> {
-        let mut apis: Vec<Api> = CORE_APIS.to_vec();
-        apis.extend(EXTRA_APIS);
-        if self.state.config.read().weartear {
-            for api in WEAR_APIS {
-                if !apis.contains(&api) {
-                    apis.push(api);
-                }
-            }
-        }
-        apis
+        self.state.rule_set().hooked_apis().to_vec()
     }
 
     /// Builds a fresh `scarecrow.dll` image sharing this engine's state.
@@ -458,11 +459,42 @@ mod tests {
 
     #[test]
     fn hooked_api_count_matches_the_paper() {
+        use crate::rules::{all_rules, Tier};
+        use std::collections::HashSet;
+        // tier counts derived from the registry, anchored to the paper
+        let tier_count = |tier: Tier| {
+            all_rules()
+                .iter()
+                .flat_map(|r| r.apis())
+                .filter(|(_, t)| *t == tier)
+                .map(|(a, _)| *a)
+                .collect::<HashSet<_>>()
+                .len()
+        };
+        let (core, extra, wear) =
+            (tier_count(Tier::Core), tier_count(Tier::Extra), tier_count(Tier::Wear));
+        assert_eq!(core, 29, "Section III-A: 29 hooked APIs");
+        assert_eq!(wear, 7, "Table III: 7 associated APIs");
         let engine = Scarecrow::with_builtin_db(Config::default());
-        assert_eq!(CORE_APIS.len(), 29, "Section III-A: 29 hooked APIs");
-        assert_eq!(engine.hooked_apis().len(), 29 + EXTRA_APIS.len() + WEAR_APIS.len());
+        assert_eq!(engine.hooked_apis().len(), core + extra + wear);
+        assert_eq!(engine.hooked_apis(), engine.rule_set().hooked_apis().to_vec());
         let engine = Scarecrow::with_builtin_db(Config { weartear: false, ..Config::default() });
-        assert_eq!(engine.hooked_apis().len(), 29 + EXTRA_APIS.len());
+        assert_eq!(engine.hooked_apis().len(), core + extra);
+    }
+
+    #[test]
+    fn update_config_rebuilds_the_rule_set() {
+        let engine = Scarecrow::with_builtin_db(Config::default());
+        let before = engine.hooked_apis().len();
+        engine.update_config(|c| {
+            c.rule_overrides.insert("gui".to_owned(), false);
+        });
+        assert!(!engine.hooked_apis().contains(&Api::FindWindow));
+        assert_eq!(engine.hooked_apis().len(), before - 1);
+        engine.update_config(|c| {
+            c.rule_overrides.clear();
+        });
+        assert_eq!(engine.hooked_apis().len(), before);
     }
 
     #[test]

@@ -1,84 +1,36 @@
 //! The injected deception engine — the reproduction's `scarecrow.dll`.
 //!
-//! One dispatcher ([`DeceptionHook`]) handles every hooked API, mirroring
-//! the paper's single DLL that "inspects the call parameters and return
-//! values. The return values are manipulated before returning to the
-//! caller if any resources in SCARECROW deceptive execution environment
-//! are queried" (Section III-B).
+//! One dispatcher ([`DeceptionHook`]) is installed on every hooked API,
+//! mirroring the paper's single DLL that "inspects the call parameters
+//! and return values. The return values are manipulated before returning
+//! to the caller if any resources in SCARECROW deceptive execution
+//! environment are queried" (Section III-B). The per-API behavior lives
+//! in the declarative rule registry ([`crate::rules`]); this module owns
+//! the shared state the rules consult and the one dispatch entry point.
 
-use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 use crossbeam::channel::Sender;
 use parking_lot::{Mutex, RwLock};
-use tracer::{EventKind, SpanKind, Telemetry};
+use tracer::{SpanKind, Telemetry};
 use winsim::env as wenv;
-use winsim::{Api, ApiCall, ApiHook, NtStatus, Pid, Value};
+use winsim::{ApiCall, ApiHook, Value};
 
 use crate::config::{Config, WearTearFakes};
 use crate::ipc::Trigger;
 use crate::profiles::{Profile, ProfileManager};
 use crate::resources::{Category, ResourceDb};
-
-/// The 29 core APIs Scarecrow hooks (Section III-A: "We hook 29 APIs that
-/// access SCARECROW deceptive resources").
-pub const CORE_APIS: [Api; 29] = [
-    Api::RegOpenKeyEx,
-    Api::RegQueryValueEx,
-    Api::NtQueryAttributesFile,
-    Api::GetFileAttributes,
-    Api::CreateFile,
-    Api::FindFirstFile,
-    Api::CreateProcess,
-    Api::ShellExecuteEx,
-    Api::TerminateProcess,
-    Api::OpenProcess,
-    Api::EnumProcesses,
-    Api::GetModuleHandle,
-    Api::LoadLibrary,
-    Api::EnumModules,
-    Api::GetProcAddress,
-    Api::FindWindow,
-    Api::IsDebuggerPresent,
-    Api::CheckRemoteDebuggerPresent,
-    Api::OutputDebugString,
-    Api::NtQueryInformationProcess,
-    Api::GetTickCount,
-    Api::GetSystemInfo,
-    Api::GlobalMemoryStatusEx,
-    Api::GetDiskFreeSpaceEx,
-    Api::GetModuleFileName,
-    Api::GetUserName,
-    Api::GetComputerName,
-    Api::DnsQuery,
-    Api::InternetOpenUrl,
-];
-
-/// Additional hooked entry points beyond the paper's 29: the user-mode
-/// exception dispatcher (Section II-B(g)) and the Toolhelp32 snapshot
-/// creator (the process-enumeration channel most real samples walk).
-pub const EXTRA_APIS: [Api; 2] = [Api::RaiseException, Api::CreateToolhelp32Snapshot];
-
-/// The additional APIs hooked by the wear-and-tear extension of
-/// Section IV-C.2, exactly the "Associated APIs" column of Table III.
-pub const WEAR_APIS: [Api; 7] = [
-    Api::DnsGetCacheDataTable,
-    Api::EvtNext,
-    Api::NtOpenKeyEx,
-    Api::NtQueryKey,
-    Api::NtQuerySystemInformation,
-    Api::NtQueryValueKey,
-    Api::NtCreateFile,
-];
+use crate::rules::RuleSet;
 
 /// Shared state between the controller and every injected DLL instance.
 ///
 /// The configuration sits behind a lock because the controller "dynamically
 /// updates the hooks and configurations through IPC" (Section III-B):
 /// [`crate::Scarecrow::update_config`] takes effect for every already
-/// injected DLL on its next intercepted call.
+/// injected DLL on its next intercepted call. The rule set is rebuilt on
+/// every swap (see [`EngineState::swap_config`]) so the per-call path is a
+/// plain indexed lookup.
 pub struct EngineState {
     /// Engine configuration (runtime-updatable). The `Arc` lets the
     /// dispatcher take a refcounted handle per call instead of cloning the
@@ -90,13 +42,19 @@ pub struct EngineState {
     pub db: Arc<ResourceDb>,
     /// Profile activation (Section VI-B).
     pub profiles: ProfileManager,
+    /// The rule set derived from the current configuration.
+    rules: RwLock<Arc<RuleSet>>,
+    /// Normalized well-known worn registry key → (subkey fake, value
+    /// fake), precomputed once so the wear-and-tear rule does not
+    /// re-lowercase and re-trim every candidate key per call.
+    wear_reg: HashMap<String, WearCounts>,
     tx: Sender<Trigger>,
     spawn_counts: Mutex<HashMap<String, usize>>,
     alarms: Mutex<Vec<String>>,
     telemetry: Option<Arc<Telemetry>>,
     /// Deceptive process names with their profiles, precomputed in db
     /// iteration order — the db is immutable after construction, so the
-    /// enumeration arms need not re-collect it per call.
+    /// enumeration rules need not re-collect it per call.
     proc_list: Vec<(String, Profile)>,
     /// Deceptive DLL names with their profiles, precomputed likewise.
     dll_list: Vec<(String, Profile)>,
@@ -108,6 +66,29 @@ impl std::fmt::Debug for EngineState {
     }
 }
 
+/// Fake (subkey count, value count) pair for one worn registry key.
+type WearCounts = (Option<u64>, Option<u64>);
+
+/// Builds the normalized worn-key map from the Table III fakes: each
+/// well-known key is trimmed and lowercased exactly once, at
+/// [`EngineState`] construction.
+fn wear_reg_map(w: &WearTearFakes) -> HashMap<String, WearCounts> {
+    let entries: [(&str, WearCounts); 11] = [
+        (wenv::DEVICE_CLASSES_KEY, (Some(w.device_classes), None)),
+        (wenv::RUN_KEY, (None, Some(w.autoruns))),
+        (wenv::UNINSTALL_KEY, (Some(w.uninstall), None)),
+        (wenv::SHARED_DLLS_KEY, (None, Some(w.shared_dlls))),
+        (wenv::APP_PATHS_KEY, (Some(w.app_paths), None)),
+        (wenv::ACTIVE_SETUP_KEY, (Some(w.active_setup), None)),
+        (wenv::USER_ASSIST_KEY, (None, Some(w.user_assist))),
+        (wenv::SHIM_CACHE_KEY, (None, Some(w.shim_cache))),
+        (wenv::MUI_CACHE_KEY, (None, Some(w.mui_cache))),
+        (wenv::FIREWALL_RULES_KEY, (None, Some(w.firewall_rules))),
+        (wenv::USBSTOR_KEY, (Some(w.usb_stor), None)),
+    ];
+    entries.iter().map(|(k, v)| (k.trim_matches('\\').to_ascii_lowercase(), *v)).collect()
+}
+
 impl EngineState {
     /// Creates engine state around a database and a trigger channel.
     pub fn new(config: Config, db: Arc<ResourceDb>, tx: Sender<Trigger>) -> Self {
@@ -116,11 +97,16 @@ impl EngineState {
             db.process_names().filter_map(|n| db.process(n).map(|p| (n.to_owned(), p))).collect();
         let dll_list =
             db.dll_names().filter_map(|n| db.dll(n).map(|p| (n.to_owned(), p))).collect();
+        let wear = WearTearFakes::default();
+        let wear_reg = wear_reg_map(&wear);
+        let rules = RwLock::new(Arc::new(RuleSet::build(&config)));
         EngineState {
             config: RwLock::new(Arc::new(config)),
-            wear: WearTearFakes::default(),
+            wear,
             db,
             profiles,
+            rules,
+            wear_reg,
             tx,
             spawn_counts: Mutex::new(HashMap::new()),
             alarms: Mutex::new(Vec::new()),
@@ -141,6 +127,20 @@ impl EngineState {
         self.telemetry.as_ref()
     }
 
+    /// Swaps in a new configuration and rebuilds the rule set from it —
+    /// the one place [`RuleSet::build`] runs after construction, so the
+    /// per-call dispatch path never derives anything.
+    pub fn swap_config(&self, config: Config) {
+        let rules = Arc::new(RuleSet::build(&config));
+        *self.config.write() = Arc::new(config);
+        *self.rules.write() = rules;
+    }
+
+    /// The rule set derived from the current configuration.
+    pub fn rule_set(&self) -> Arc<RuleSet> {
+        Arc::clone(&*self.rules.read())
+    }
+
     /// Resets per-run state (between protected runs).
     pub fn reset(&self) {
         self.profiles.reset();
@@ -156,8 +156,11 @@ impl EngineState {
     /// Records one deception decision everywhere it is observed: the
     /// profile tracker, the telemetry counters, the flight recorder's
     /// attribution chain (probed artifact → hooked API → profile handler →
-    /// fabricated `answer`), and the controller's trigger channel.
-    fn report(
+    /// fabricated `answer`), and the controller's trigger channel. Called
+    /// only by the rule dispatcher ([`RuleSet::dispatch`]), which reports
+    /// every [`crate::rules::Outcome::Deceive`] — rules cannot forget to
+    /// attribute their fabricated answers.
+    pub(crate) fn report(
         &self,
         call: &mut ApiCall<'_>,
         category: Category,
@@ -190,8 +193,56 @@ impl EngineState {
     }
 
     /// Checks a db lookup result against profile activation.
-    fn active(&self, hit: Option<Profile>) -> Option<Profile> {
+    pub(crate) fn active(&self, hit: Option<Profile>) -> Option<Profile> {
         hit.filter(|p| self.profiles.active(*p))
+    }
+
+    /// Wear-and-tear registry override for a well-known worn key:
+    /// a precomputed-map lookup, preferring the `what` facet ("values" or
+    /// subkeys) but falling back to the other one, like the original
+    /// per-call chain did.
+    pub(crate) fn wear_reg_override(&self, path: &str, what: &str) -> Option<u64> {
+        let n = path.trim_matches('\\').to_ascii_lowercase();
+        let &(subkeys, values) = self.wear_reg.get(&n)?;
+        match what {
+            "values" => values.or(subkeys),
+            _ => subkeys.or(values),
+        }
+    }
+
+    /// The precomputed deceptive process list (db iteration order).
+    pub(crate) fn proc_list(&self) -> &[(String, Profile)] {
+        &self.proc_list
+    }
+
+    /// The precomputed deceptive DLL list (db iteration order).
+    pub(crate) fn dll_list(&self) -> &[(String, Profile)] {
+        &self.dll_list
+    }
+
+    /// Bumps and returns the spawn count for an (already lowercased)
+    /// image name.
+    pub(crate) fn bump_spawn(&self, image: &str) -> usize {
+        let mut counts = self.spawn_counts.lock();
+        let c = counts.entry(image.to_owned()).or_insert(0);
+        *c += 1;
+        *c
+    }
+
+    /// Records a loop alarm for [`EngineState::take_alarms`].
+    pub(crate) fn push_alarm(&self, message: String) {
+        self.alarms.lock().push(message);
+    }
+
+    /// Deceptive files matching a `prefix*suffix` glob, profile-filtered.
+    pub(crate) fn db_files_matching(&self, prefix: &str, suffix: &str) -> Vec<(String, Profile)> {
+        self.db
+            .files_iter()
+            .filter(|(path, profile)| {
+                self.profiles.active(*profile) && path.starts_with(prefix) && path.ends_with(suffix)
+            })
+            .map(|(path, profile)| (path.to_owned(), profile))
+            .collect()
     }
 }
 
@@ -215,572 +266,11 @@ impl ApiHook for DeceptionHook {
     fn invoke(&self, call: &mut ApiCall<'_>) -> Value {
         let pid = call.pid;
         call.machine().flight_begin(SpanKind::Handler, self.label(), pid);
-        let value = handle(&self.state, call);
+        let cfg = Arc::clone(&*self.state.config.read());
+        let rules = self.state.rule_set();
+        let value = rules.dispatch(&self.state, &cfg, call);
         call.machine().flight_end();
         value
-    }
-}
-
-/// Deterministic md5-looking hex name for the fake sample path.
-fn hash_name(image: &str) -> String {
-    let mut h1 = DefaultHasher::new();
-    image.hash(&mut h1);
-    let a = h1.finish();
-    let mut h2 = DefaultHasher::new();
-    (image, a).hash(&mut h2);
-    format!("{:016x}{:016x}", a, h2.finish())
-}
-
-/// Wear-and-tear registry overrides: key path → (subkey fake, value fake).
-fn wear_reg_override(state: &EngineState, path: &str, what: &str) -> Option<u64> {
-    let w = &state.wear;
-    let n = path.trim_matches('\\').to_ascii_lowercase();
-    let matches = |key: &str| n == key.trim_matches('\\').to_ascii_lowercase();
-    let (subkeys, values) = if matches(wenv::DEVICE_CLASSES_KEY) {
-        (Some(w.device_classes), None)
-    } else if matches(wenv::RUN_KEY) {
-        (None, Some(w.autoruns))
-    } else if matches(wenv::UNINSTALL_KEY) {
-        (Some(w.uninstall), None)
-    } else if matches(wenv::SHARED_DLLS_KEY) {
-        (None, Some(w.shared_dlls))
-    } else if matches(wenv::APP_PATHS_KEY) {
-        (Some(w.app_paths), None)
-    } else if matches(wenv::ACTIVE_SETUP_KEY) {
-        (Some(w.active_setup), None)
-    } else if matches(wenv::USER_ASSIST_KEY) {
-        (None, Some(w.user_assist))
-    } else if matches(wenv::SHIM_CACHE_KEY) {
-        (None, Some(w.shim_cache))
-    } else if matches(wenv::MUI_CACHE_KEY) {
-        (None, Some(w.mui_cache))
-    } else if matches(wenv::FIREWALL_RULES_KEY) {
-        (None, Some(w.firewall_rules))
-    } else if matches(wenv::USBSTOR_KEY) {
-        (Some(w.usb_stor), None)
-    } else {
-        (None, None)
-    };
-    match what {
-        "values" => values.or(subkeys),
-        _ => subkeys.or(values),
-    }
-}
-
-/// The engine dispatcher body.
-#[allow(clippy::too_many_lines)] // one arm per hooked API, like the real DLL
-fn handle(state: &EngineState, call: &mut ApiCall<'_>) -> Value {
-    let cfg = Arc::clone(&*state.config.read());
-    let cfg = &*cfg;
-    match call.api {
-        // ---------- registry ----------
-        Api::RegOpenKeyEx | Api::NtOpenKeyEx => {
-            if cfg.software {
-                if let Some(p) = state.active(state.db.reg_key(call.args.str(0))) {
-                    let path = call.args.str(0).to_owned();
-                    state.report(call, Category::Registry, &path, p, "STATUS_SUCCESS");
-                    return Value::Status(NtStatus::Success);
-                }
-            }
-            call.call_original()
-        }
-        Api::RegQueryValueEx | Api::NtQueryValueKey => {
-            if cfg.software {
-                let hit = state
-                    .db
-                    .reg_value(call.args.str(0), call.args.str(1))
-                    .filter(|(_, p)| state.profiles.active(*p))
-                    .map(|(d, p)| (d.to_owned(), p));
-                if let Some((data, p)) = hit {
-                    let path = format!("{}\\{}", call.args.str(0), call.args.str(1));
-                    state.report(call, Category::Registry, &path, p, &data);
-                    return Value::Str(data);
-                }
-            }
-            call.call_original()
-        }
-        Api::NtQueryKey => {
-            if cfg.weartear {
-                if let Some(n) = wear_reg_override(state, call.args.str(0), call.args.str(1)) {
-                    let path = call.args.str(0).to_owned();
-                    state.report(call, Category::WearTear, &path, Profile::Generic, &n.to_string());
-                    return Value::U64(n);
-                }
-            }
-            if cfg.software {
-                if let Some(p) = state.active(state.db.reg_key(call.args.str(0))) {
-                    let path = call.args.str(0).to_owned();
-                    state.report(call, Category::Registry, &path, p, "1");
-                    return Value::U64(1);
-                }
-            }
-            call.call_original()
-        }
-
-        // ---------- files & devices ----------
-        Api::NtQueryAttributesFile | Api::GetFileAttributes => {
-            if cfg.software {
-                if let Some(p) = state.active(state.db.file(call.args.str(0))) {
-                    let path = call.args.str(0).to_owned();
-                    let answer = match call.api {
-                        Api::GetFileAttributes => "FILE_ATTRIBUTE_NORMAL",
-                        _ => "STATUS_SUCCESS",
-                    };
-                    state.report(call, Category::File, &path, p, answer);
-                    return match call.api {
-                        Api::GetFileAttributes => Value::U64(0x80),
-                        _ => Value::Status(NtStatus::Success),
-                    };
-                }
-            }
-            call.call_original()
-        }
-        Api::NtCreateFile | Api::CreateFile => {
-            if cfg.software && call.args.str(1) != "create" {
-                let hit = match call.args.str(0).strip_prefix(r"\\.\") {
-                    Some(dev) => state.active(state.db.device(dev)).map(|p| (Category::Device, p)),
-                    None => {
-                        state.active(state.db.file(call.args.str(0))).map(|p| (Category::File, p))
-                    }
-                };
-                if let Some((category, p)) = hit {
-                    let path = call.args.str(0).to_owned();
-                    state.report(call, category, &path, p, "STATUS_SUCCESS");
-                    return Value::Status(NtStatus::Success);
-                }
-            }
-            call.call_original()
-        }
-        Api::FindFirstFile => {
-            let pattern = call.args.str(0).to_owned();
-            let original = call.call_original();
-            if !cfg.software {
-                return original;
-            }
-            let mut merged: Vec<Value> = original.as_list().unwrap_or(&[]).to_vec();
-            let (prefix, suffix) = match pattern.to_ascii_lowercase().split_once('*') {
-                Some((a, b)) => (a.to_owned(), b.to_owned()),
-                None => (pattern.to_ascii_lowercase(), String::new()),
-            };
-            let mut hit = None;
-            let mut added = 0u64;
-            for (path, profile) in state.db_files_matching(&prefix, &suffix) {
-                hit = Some(profile);
-                added += 1;
-                merged.push(Value::Str(path));
-            }
-            if let Some(p) = hit {
-                let answer = format!("{added} deceptive entries appended");
-                state.report(call, Category::File, &pattern, p, &answer);
-            }
-            Value::List(merged)
-        }
-
-        // ---------- processes ----------
-        Api::CreateProcess | Api::ShellExecuteEx => {
-            let image = call.args.str(0).to_ascii_lowercase();
-            let count = {
-                let mut counts = state.spawn_counts.lock();
-                let c = counts.entry(image.clone()).or_insert(0);
-                *c += 1;
-                *c
-            };
-            if count == cfg.spawn_alarm_threshold {
-                let msg = format!("self-spawn loop: {image} created {count} times under deception");
-                state.alarms.lock().push(msg.clone());
-                let pid = call.pid;
-                call.machine().record(pid, EventKind::Alarm { message: msg });
-            }
-            if cfg.active_mitigation && count > cfg.spawn_alarm_threshold {
-                // Section VI-C: "could be further mitigated by killing its
-                // parent processes or directly blocking forking".
-                let pid = call.pid;
-                call.machine().finish_process(pid, 137);
-                return Value::U64(0);
-            }
-            call.call_original()
-        }
-        Api::TerminateProcess => {
-            if cfg.protect_processes {
-                let target = call.args.u64(0) as Pid;
-                let image =
-                    call.machine().process(target).map(|p| p.image.clone()).unwrap_or_default();
-                if let Some(p) = state.active(state.db.process(&image)) {
-                    state.report(call, Category::Process, &image, p, "ACCESS_DENIED");
-                    return Value::Bool(false); // ACCESS_DENIED
-                }
-            }
-            call.call_original()
-        }
-        Api::OpenProcess => {
-            if cfg.software {
-                if let Some(p) = state.active(state.db.process(call.args.str(0))) {
-                    let image = call.args.str(0).to_owned();
-                    state.report(call, Category::Process, &image, p, "handle 0xFEED");
-                    return Value::U64(0xFEED);
-                }
-            }
-            call.call_original()
-        }
-        Api::CreateToolhelp32Snapshot => {
-            let result = call.call_original();
-            if cfg.software {
-                if let Some(handle) = result.as_u64() {
-                    let mut reported = false;
-                    for (name, profile) in &state.proc_list {
-                        if state.profiles.active(*profile) {
-                            call.machine().snapshot_append(handle, name);
-                            if !reported {
-                                state.report(
-                                    call,
-                                    Category::Process,
-                                    "toolhelp snapshot",
-                                    *profile,
-                                    "deceptive processes appended",
-                                );
-                                reported = true;
-                            }
-                        }
-                    }
-                }
-            }
-            result
-        }
-        Api::EnumProcesses => {
-            let original = call.call_original();
-            if !cfg.software {
-                return original;
-            }
-            let mut merged: Vec<Value> = original.as_list().unwrap_or(&[]).to_vec();
-            let mut reported = false;
-            for (name, profile) in &state.proc_list {
-                if state.profiles.active(*profile) {
-                    if !merged
-                        .iter()
-                        .any(|v| v.as_str().is_some_and(|s| s.eq_ignore_ascii_case(name)))
-                    {
-                        merged.push(Value::Str(name.clone()));
-                    }
-                    if !reported {
-                        state.report(
-                            call,
-                            Category::Process,
-                            "process enumeration",
-                            *profile,
-                            "deceptive processes appended",
-                        );
-                        reported = true;
-                    }
-                }
-            }
-            Value::List(merged)
-        }
-
-        // ---------- modules ----------
-        Api::GetModuleHandle | Api::LoadLibrary => {
-            if cfg.software {
-                if let Some(p) = state.active(state.db.dll(call.args.str(0))) {
-                    let name = call.args.str(0).to_owned();
-                    state.report(call, Category::Dll, &name, p, "module handle 0x5CA2EC20");
-                    return Value::U64(0x5CA2_EC20);
-                }
-            }
-            call.call_original()
-        }
-        Api::EnumModules => {
-            let original = call.call_original();
-            if !cfg.software {
-                return original;
-            }
-            let mut merged: Vec<Value> = original.as_list().unwrap_or(&[]).to_vec();
-            let mut reported = false;
-            for (name, profile) in &state.dll_list {
-                if state.profiles.active(*profile) {
-                    merged.push(Value::Str(name.clone()));
-                    if !reported {
-                        state.report(
-                            call,
-                            Category::Dll,
-                            "module enumeration",
-                            *profile,
-                            "deceptive modules appended",
-                        );
-                        reported = true;
-                    }
-                }
-            }
-            Value::List(merged)
-        }
-        Api::GetProcAddress => {
-            if cfg.software {
-                if let Some(p) = state.active(state.db.export(call.args.str(0), call.args.str(1))) {
-                    let name = format!("{}!{}", call.args.str(0), call.args.str(1));
-                    state.report(call, Category::Dll, &name, p, "export address 0x5CA2EC24");
-                    return Value::U64(0x5CA2_EC24);
-                }
-            }
-            call.call_original()
-        }
-
-        // ---------- GUI ----------
-        Api::FindWindow => {
-            if cfg.software {
-                let hit = state
-                    .active(state.db.window(call.args.str(0)))
-                    .or_else(|| state.active(state.db.window(call.args.str(1))));
-                if let Some(p) = hit {
-                    let resource = format!("{}{}", call.args.str(0), call.args.str(1));
-                    state.report(call, Category::Window, &resource, p, "window found");
-                    return Value::Bool(true);
-                }
-            }
-            call.call_original()
-        }
-
-        // ---------- debugger presence ----------
-        Api::IsDebuggerPresent | Api::CheckRemoteDebuggerPresent | Api::OutputDebugString => {
-            if cfg.software {
-                state.report(call, Category::Debugger, call.api.name(), Profile::Debugger, "TRUE");
-                return Value::Bool(true);
-            }
-            call.call_original()
-        }
-        Api::NtQueryInformationProcess => {
-            if cfg.software && call.args.str(0) == "DebugPort" {
-                state.report(call, Category::Debugger, "DebugPort", Profile::Debugger, "1");
-                return Value::U64(1);
-            }
-            call.call_original()
-        }
-
-        // ---------- hardware & identity ----------
-        Api::GetTickCount => {
-            if cfg.hardware {
-                let now = call.machine().system().clock.now_ms();
-                let faked = cfg.fake_uptime_ms + now;
-                let answer = format!("{faked} ms uptime");
-                state.report(call, Category::Hardware, "uptime", Profile::Generic, &answer);
-                // preserve deltas so sleeps still measure correctly
-                Value::U64(faked)
-            } else {
-                call.call_original()
-            }
-        }
-        Api::GetSystemInfo => {
-            if cfg.hardware {
-                let answer = format!("{} cores", cfg.fake_cores);
-                state.report(
-                    call,
-                    Category::Hardware,
-                    "processor count",
-                    Profile::Generic,
-                    &answer,
-                );
-                Value::U64(cfg.fake_cores)
-            } else {
-                call.call_original()
-            }
-        }
-        Api::GlobalMemoryStatusEx => {
-            if cfg.hardware {
-                let answer = format!("{} MB", cfg.fake_memory_mb);
-                state.report(
-                    call,
-                    Category::Hardware,
-                    "physical memory",
-                    Profile::Generic,
-                    &answer,
-                );
-                Value::U64(cfg.fake_memory_mb)
-            } else {
-                call.call_original()
-            }
-        }
-        Api::GetDiskFreeSpaceEx => {
-            if cfg.hardware {
-                let answer = format!("{} GB disk", cfg.fake_disk_gb);
-                state.report(call, Category::Hardware, "disk size", Profile::Generic, &answer);
-                Value::List(vec![
-                    Value::U64(cfg.fake_disk_gb << 30),
-                    Value::U64(cfg.fake_disk_free_gb << 30),
-                ])
-            } else {
-                call.call_original()
-            }
-        }
-        Api::GetModuleFileName => {
-            if cfg.software {
-                let pid = call.pid;
-                let image =
-                    call.machine().process(pid).map(|p| p.image.clone()).unwrap_or_default();
-                let faked = format!("{}\\{}.exe", cfg.fake_sample_dir, hash_name(&image));
-                state.report(call, Category::Identity, "sample path", Profile::Generic, &faked);
-                Value::Str(faked)
-            } else {
-                call.call_original()
-            }
-        }
-        Api::GetUserName => {
-            if cfg.software {
-                state.report(
-                    call,
-                    Category::Identity,
-                    "user name",
-                    Profile::Generic,
-                    &cfg.fake_user,
-                );
-                Value::Str(cfg.fake_user.clone())
-            } else {
-                call.call_original()
-            }
-        }
-        Api::GetComputerName => {
-            if cfg.software {
-                state.report(
-                    call,
-                    Category::Identity,
-                    "computer name",
-                    Profile::Generic,
-                    &cfg.fake_computer,
-                );
-                Value::Str(cfg.fake_computer.clone())
-            } else {
-                call.call_original()
-            }
-        }
-
-        // ---------- exception processing (Section II-B(g)) ----------
-        Api::RaiseException => {
-            if cfg.software {
-                let answer = format!("{} cycles", cfg.fake_exception_cycles);
-                state.report(
-                    call,
-                    Category::Debugger,
-                    "exception dispatch timing",
-                    Profile::Debugger,
-                    &answer,
-                );
-                Value::U64(cfg.fake_exception_cycles)
-            } else {
-                call.call_original()
-            }
-        }
-
-        // ---------- network ----------
-        Api::DnsQuery => {
-            let domain = call.args.str(0).to_owned();
-            let original = call.call_original();
-            let failed = matches!(&original, Value::Status(s) if !s.is_success());
-            if cfg.network && failed {
-                let a = cfg.sinkhole_addr;
-                let sinkhole = format!("{}.{}.{}.{}", a[0], a[1], a[2], a[3]);
-                state.report(call, Category::Network, &domain, Profile::Generic, &sinkhole);
-                return Value::Str(sinkhole);
-            }
-            original
-        }
-        Api::InternetOpenUrl => {
-            let host = call.args.str(0).to_owned();
-            let original = call.call_original();
-            if cfg.network && original.as_u64() == Some(0) {
-                state.report(call, Category::Network, &host, Profile::Generic, "HTTP 200");
-                return Value::U64(200);
-            }
-            original
-        }
-
-        // ---------- wear-and-tear extension ----------
-        Api::DnsGetCacheDataTable => {
-            if cfg.weartear {
-                let answer = format!("{} cached domains", state.wear.dns_cache_entries.len());
-                state.report(call, Category::WearTear, "dns cache", Profile::Generic, &answer);
-                Value::List(
-                    state.wear.dns_cache_entries.iter().map(|d| Value::Str(d.clone())).collect(),
-                )
-            } else {
-                call.call_original()
-            }
-        }
-        Api::EvtNext => {
-            if cfg.weartear {
-                let limit = (call.args.u64(0) as usize).min(state.wear.sys_events);
-                let answer = format!("{limit} fabricated events");
-                state.report(call, Category::WearTear, "system events", Profile::Generic, &answer);
-                let srcs = &state.wear.event_sources;
-                Value::List((0..limit).map(|i| Value::Str(srcs[i % srcs.len()].clone())).collect())
-            } else {
-                call.call_original()
-            }
-        }
-        Api::NtQuerySystemInformation => {
-            let class = call.args.str(0).to_owned();
-            match class.as_str() {
-                "RegistryQuota" if cfg.weartear => {
-                    let answer = format!("{} bytes", state.wear.registry_quota_bytes);
-                    state.report(
-                        call,
-                        Category::WearTear,
-                        "registry quota",
-                        Profile::Generic,
-                        &answer,
-                    );
-                    Value::U64(state.wear.registry_quota_bytes)
-                }
-                "ProcessInformation" if cfg.software => {
-                    let original = call.call_original();
-                    let mut merged: Vec<Value> = original.as_list().unwrap_or(&[]).to_vec();
-                    let mut reported = false;
-                    for (name, profile) in &state.proc_list {
-                        if state.profiles.active(*profile) {
-                            if !merged
-                                .iter()
-                                .any(|v| v.as_str().is_some_and(|s| s.eq_ignore_ascii_case(name)))
-                            {
-                                merged.push(Value::Str(name.clone()));
-                            }
-                            if !reported {
-                                state.report(
-                                    call,
-                                    Category::Process,
-                                    "process enumeration",
-                                    *profile,
-                                    "deceptive processes appended",
-                                );
-                                reported = true;
-                            }
-                        }
-                    }
-                    Value::List(merged)
-                }
-                "KernelDebugger" if cfg.software => {
-                    state.report(
-                        call,
-                        Category::Debugger,
-                        "kernel debugger",
-                        Profile::Debugger,
-                        "TRUE",
-                    );
-                    Value::Bool(true)
-                }
-                _ => call.call_original(),
-            }
-        }
-
-        // anything else the engine was (mis)installed on: pass through
-        _ => call.call_original(),
-    }
-}
-
-impl EngineState {
-    /// Deceptive files matching a `prefix*suffix` glob, profile-filtered.
-    fn db_files_matching(&self, prefix: &str, suffix: &str) -> Vec<(String, Profile)> {
-        self.db
-            .files_iter()
-            .filter(|(path, profile)| {
-                self.profiles.active(*profile) && path.starts_with(prefix) && path.ends_with(suffix)
-            })
-            .map(|(path, profile)| (path.to_owned(), profile))
-            .collect()
     }
 }
 
@@ -789,7 +279,8 @@ mod tests {
     use super::*;
     use crate::ipc;
     use std::sync::Arc;
-    use winsim::{args, Machine, System};
+    use tracer::EventKind;
+    use winsim::{args, Api, Machine, NtStatus, Pid, System};
 
     fn engine() -> (Arc<EngineState>, crossbeam::channel::Receiver<Trigger>) {
         let (tx, rx) = ipc::channel();
@@ -800,7 +291,7 @@ mod tests {
     fn hooked_machine(state: &Arc<EngineState>) -> (Machine, Pid) {
         let mut m = Machine::new(System::new());
         let pid = m.add_system_process("sample.exe");
-        for api in CORE_APIS.iter().chain(WEAR_APIS.iter()) {
+        for api in RuleSet::build(&Config::default()).hooked_apis() {
             m.install_hook(pid, *api, Arc::new(DeceptionHook::new(Arc::clone(state))));
         }
         (m, pid)
@@ -932,6 +423,16 @@ mod tests {
     }
 
     #[test]
+    fn wear_overrides_normalize_case_and_slashes() {
+        let (state, _rx) = engine();
+        let shouty = format!(r"\{}\", winsim::env::RUN_KEY.to_ascii_uppercase());
+        assert_eq!(state.wear_reg_override(&shouty, "values"), Some(3), "Table III autoruns");
+        // the requested facet falls back to the populated one
+        assert_eq!(state.wear_reg_override(winsim::env::RUN_KEY, "subkeys"), Some(3));
+        assert_eq!(state.wear_reg_override(r"HKLM\SOFTWARE\NotWellKnown", "values"), None);
+    }
+
+    #[test]
     fn spawn_loop_alarm_fires_at_threshold() {
         let (state, _rx) = engine();
         let (mut m, pid) = hooked_machine(&state);
@@ -985,6 +486,20 @@ mod tests {
     }
 
     #[test]
+    fn swap_config_rebuilds_the_rule_set() {
+        let (state, _rx) = engine();
+        assert!(state.rule_set().hooked_apis().contains(&Api::EvtNext));
+        let mut cfg = state.config.read().as_ref().clone();
+        cfg.weartear = false;
+        state.swap_config(cfg);
+        assert!(!state.rule_set().hooked_apis().contains(&Api::EvtNext));
+        let mut cfg = state.config.read().as_ref().clone();
+        cfg.rule_overrides.insert("network".to_owned(), false);
+        state.swap_config(cfg);
+        assert!(state.rule_set().rules().iter().all(|r| r.name() != "network"));
+    }
+
+    #[test]
     fn exclusive_profiles_silence_conflicts() {
         let (tx, _rx) = ipc::channel();
         let cfg = Config { exclusive_profiles: true, ..Config::default() };
@@ -1003,15 +518,5 @@ mod tests {
         assert_eq!(v.as_status(), NtStatus::ObjectNameNotFound);
         // generic deception (debugger) still answers
         assert_eq!(m.call_api(pid, Api::IsDebuggerPresent, args![]), Value::Bool(true));
-    }
-
-    #[test]
-    fn fake_sample_path_is_stable_and_hashlike() {
-        let a = hash_name("pafish.exe");
-        let b = hash_name("pafish.exe");
-        assert_eq!(a, b);
-        assert_eq!(a.len(), 32);
-        assert!(a.chars().all(|c| c.is_ascii_hexdigit()));
-        assert_ne!(hash_name("other.exe"), a);
     }
 }

@@ -15,7 +15,8 @@
 //!   its own children, injects the engine, collects triggers and alarms;
 //! * [`engine::DeceptionHook`] — the injected `scarecrow.dll`: one
 //!   dispatcher over the 29 core hooked APIs (plus the 7 wear-and-tear
-//!   APIs of Table III);
+//!   APIs of Table III), delegating per-API behavior to the declarative
+//!   [`rules`] registry;
 //! * [`ResourceDb`] — the deceptive resource database: curated core plus a
 //!   public-sandbox crawl ([`crawler`], Section II-C);
 //! * [`ProfileManager`] — per-platform profiles with the conflict-avoiding
@@ -62,6 +63,7 @@ pub mod ipc;
 mod learning;
 mod profiles;
 mod resources;
+pub mod rules;
 mod summary;
 
 pub use config::{Config, ConfigError, WearTearFakes};

@@ -369,6 +369,25 @@ mod tests {
     }
 
     #[test]
+    fn rule_overrides_propagate_through_cluster_wiring() {
+        // a per-rule override in the cluster's engine config must reach
+        // the sweep workers (Scarecrow::worker clones the live config) and
+        // change run outcomes, not just the listing
+        let mut cfg = Config::default();
+        cfg.rule_overrides.insert("debugger".to_owned(), false);
+        let c = Cluster::new(Arc::new(bare_metal_sandbox), Scarecrow::with_builtin_db(cfg));
+        let worker = c.engine().worker();
+        assert!(!worker.hooked_apis().contains(&winsim::Api::IsDebuggerPresent));
+        assert_eq!(worker.config().rule_overrides, c.engine().config().rule_overrides);
+        // f1a1288 fingerprints the debugger; with the rule unregistered it
+        // sees a clean machine and stays active
+        let s = joe_samples().into_iter().find(|s| s.md5 == "f1a1288").unwrap();
+        let pair = c.run_pair(s.sample.into_program());
+        assert_eq!(pair.verdict, Verdict::NotDeactivated);
+        assert!(pair.protected.triggers.is_empty());
+    }
+
+    #[test]
     fn joe_debugger_sample_is_deactivated() {
         let c = cluster();
         let s = joe_samples().into_iter().find(|s| s.md5 == "f1a1288").unwrap();

@@ -53,10 +53,11 @@ if [ "${1:-}" = "--check" ]; then
     check_dir="$(mktemp -d)"
     trap 'rm -rf "$check_dir"' EXIT
     echo "== verifying JSON + telemetry sidecars (into $check_dir) =="
-    SCARECROW_RESULTS_DIR="$check_dir" ./target/release/table1 >/dev/null
-    SCARECROW_RESULTS_DIR="$check_dir" ./target/release/figure4 >/dev/null
+    SCARECROW_RESULTS_DIR="$check_dir" ./target/release/table1 >"$check_dir/table1.stdout.txt"
+    SCARECROW_RESULTS_DIR="$check_dir" ./target/release/figure4 >"$check_dir/figure4.stdout.txt"
     SCARECROW_RESULTS_DIR="$check_dir" ./target/release/scarecrowctl explain case:kasidet >/dev/null
     SCARECROW_RESULTS_DIR="$check_dir" ./target/release/scarecrowctl trace case:kasidet >/dev/null
+    SCARECROW_RESULTS_DIR="$check_dir" ./target/release/scarecrowctl rules --json >/dev/null
     for f in table1 table1_telemetry figure4 figure4_telemetry \
              table1_trace table1_attribution figure4_trace figure4_attribution \
              scarecrowctl_trace scarecrowctl_attribution; do
@@ -70,6 +71,22 @@ if [ "${1:-}" = "--check" ]; then
     for f in table1_attribution figure4_attribution scarecrowctl_attribution; do
         require_key "$check_dir/$f.json" '"schema":"scarecrow.attribution.v1"'
         require_key "$check_dir/$f.json" '"chain"'
+    done
+    # rule-registry sidecar: schema tag, per-rule entries, and the derived
+    # hook list must all be present
+    require_sidecar "$check_dir/scarecrowctl_rules.json"
+    require_key "$check_dir/scarecrowctl_rules.json" '"schema": "scarecrow.rules.v1"'
+    require_key "$check_dir/scarecrowctl_rules.json" '"rules"'
+    require_key "$check_dir/scarecrowctl_rules.json" '"hooked_apis"'
+    # registry refactors must not perturb the deterministic experiment
+    # output: stdout is byte-compared against the committed artifacts
+    for b in table1 figure4; do
+        if ! cmp -s "$check_dir/$b.stdout.txt" "results/$b.txt"; then
+            echo "FAIL: $b stdout diverged from committed results/$b.txt" >&2
+            diff "results/$b.txt" "$check_dir/$b.stdout.txt" | head -20 >&2
+            exit 1
+        fi
+        echo "ok: $b stdout matches results/$b.txt"
     done
     echo "check passed"
     exit 0

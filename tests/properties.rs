@@ -413,6 +413,123 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------------
+// deception-rule registry invariants
+// ---------------------------------------------------------------------------
+
+/// The pre-refactor hook set: the 29 core APIs (Section III-A), the two
+/// documented extras (exception dispatcher, Toolhelp32), plus — when the
+/// wear-and-tear extension is on — the 7 associated APIs of Table III.
+/// Kept as a literal list so the registry refactor is pinned to exactly
+/// the coverage the monolithic dispatcher had.
+fn prerefactor_hooked(weartear: bool) -> std::collections::HashSet<winsim::Api> {
+    use winsim::Api::*;
+    let mut set: std::collections::HashSet<winsim::Api> = [
+        RegOpenKeyEx,
+        RegQueryValueEx,
+        NtQueryAttributesFile,
+        GetFileAttributes,
+        CreateFile,
+        FindFirstFile,
+        CreateProcess,
+        ShellExecuteEx,
+        TerminateProcess,
+        OpenProcess,
+        EnumProcesses,
+        GetModuleHandle,
+        LoadLibrary,
+        EnumModules,
+        GetProcAddress,
+        FindWindow,
+        IsDebuggerPresent,
+        CheckRemoteDebuggerPresent,
+        OutputDebugString,
+        NtQueryInformationProcess,
+        GetTickCount,
+        GetSystemInfo,
+        GlobalMemoryStatusEx,
+        GetDiskFreeSpaceEx,
+        GetModuleFileName,
+        GetUserName,
+        GetComputerName,
+        DnsQuery,
+        InternetOpenUrl,
+        RaiseException,
+        CreateToolhelp32Snapshot,
+    ]
+    .into_iter()
+    .collect();
+    if weartear {
+        set.extend([
+            DnsGetCacheDataTable,
+            EvtNext,
+            NtOpenKeyEx,
+            NtQueryKey,
+            NtQuerySystemInformation,
+            NtQueryValueKey,
+            NtCreateFile,
+        ]);
+    }
+    set
+}
+
+proptest! {
+    #[test]
+    fn rule_registry_covers_exactly_the_prerefactor_hook_set(
+        software in any::<bool>(),
+        hardware in any::<bool>(),
+        network in any::<bool>(),
+        weartear in any::<bool>(),
+        protect_processes in any::<bool>(),
+        active_mitigation in any::<bool>(),
+    ) {
+        // the category gates keep hooks patched (presence-only ablation),
+        // so only the weartear switch changes the hooked set
+        let cfg = scarecrow::Config {
+            software,
+            hardware,
+            network,
+            weartear,
+            protect_processes,
+            active_mitigation,
+            ..scarecrow::Config::default()
+        };
+        let set = scarecrow::rules::RuleSet::build(&cfg);
+        let hooked = set.hooked_apis();
+        let unique: std::collections::HashSet<_> = hooked.iter().copied().collect();
+        prop_assert_eq!(unique.len(), hooked.len(), "duplicate hooked APIs");
+        prop_assert_eq!(unique, prerefactor_hooked(weartear));
+    }
+
+    #[test]
+    fn disabling_one_rule_removes_only_its_exclusive_apis(idx in 0usize..16) {
+        let rules = scarecrow::rules::all_rules();
+        prop_assume!(idx < rules.len());
+        let victim = rules[idx];
+        let mut cfg = scarecrow::Config::default();
+        cfg.rule_overrides.insert(victim.name().to_owned(), false);
+        let full = prerefactor_hooked(true);
+        let reduced: std::collections::HashSet<_> =
+            scarecrow::rules::RuleSet::build(&cfg).hooked_apis().iter().copied().collect();
+        prop_assert!(reduced.is_subset(&full));
+        let declared_by_others: std::collections::HashSet<_> = rules
+            .iter()
+            .filter(|r| r.name() != victim.name())
+            .flat_map(|r| r.apis())
+            .map(|(a, _)| *a)
+            .collect();
+        for api in full.difference(&reduced) {
+            prop_assert!(
+                !declared_by_others.contains(api),
+                "{api} dropped although another rule still declares it"
+            );
+        }
+        for api in &reduced {
+            prop_assert!(declared_by_others.contains(api));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // hook-chain invariants
 // ---------------------------------------------------------------------------
 
